@@ -1,0 +1,278 @@
+package hypertap_test
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations DESIGN.md calls out. Each benchmark runs its experiment at a
+// reduced-but-meaningful scale and reports the headline quantity as a custom
+// metric, so `go test -bench=. -benchmem` regenerates the whole evaluation's
+// shape in minutes. The cmd/ tools run the same harnesses at paper scale.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/experiment"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/inject"
+	"hypertap/internal/workload"
+)
+
+// BenchmarkTableI_EventMatrix verifies the guest-event → VM-Exit →
+// invariant map live and reports how many of its rows were exercised.
+func BenchmarkTableI_EventMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunTableI(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exercised := 0
+		for _, r := range rows {
+			if r.Observed > 0 {
+				exercised++
+			}
+		}
+		b.ReportMetric(float64(exercised), "rows-verified")
+		b.ReportMetric(float64(len(rows)), "rows-total")
+	}
+}
+
+// BenchmarkFig4_GOSHDCoverage runs a sampled fault-injection campaign and
+// reports detection coverage (paper: 99.8%) and the partial-hang share
+// (paper: 18–26%).
+func BenchmarkFig4_GOSHDCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunGOSHDCampaign(experiment.GOSHDConfig{
+			SampleEvery: 16,
+			Workloads:   []string{"make -j1", "make -j2"},
+			Seed:        1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Coverage(), "coverage%")
+		b.ReportMetric(100*r.PartialHangShare(), "partial%")
+		b.ReportMetric(float64(r.Runs), "injections")
+	}
+}
+
+// BenchmarkFig5_GOSHDLatency reports the latency CDF anchors of Fig. 5:
+// first-hang detection at the 4s threshold and the full-hang lag.
+func BenchmarkFig5_GOSHDLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunGOSHDCampaign(experiment.GOSHDConfig{
+			SampleEvery: 16,
+			Workloads:   []string{"hanoi", "http"},
+			Seed:        2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		marks := []time.Duration{4 * time.Second, 32 * time.Second}
+		first := experiment.CDF(r.AllFirstLatencies(), marks)
+		full := experiment.CDF(r.AllFullLatencies(), marks)
+		b.ReportMetric(100*first[0], "first-cdf@4s%")
+		b.ReportMetric(100*first[1], "first-cdf@32s%")
+		b.ReportMetric(100*full[0], "full-cdf@4s%")
+		b.ReportMetric(100*full[1], "full-cdf@32s%")
+	}
+}
+
+// BenchmarkTableII_HRKD runs the full rootkit matrix and reports the
+// detection count (paper: 10/10).
+func BenchmarkTableII_HRKD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunHRKDMatrix(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected := 0
+		for _, row := range r.Rows {
+			if row.Detected {
+				detected++
+			}
+		}
+		b.ReportMetric(float64(detected), "rootkits-detected")
+		b.ReportMetric(float64(len(r.Rows)), "rootkits-total")
+	}
+}
+
+// BenchmarkTableIII_SideChannel measures the /proc side channel at the 1s
+// interval and reports the prediction error and SD in microseconds
+// (paper: mean 1.00039s, SD 0.00071s).
+func BenchmarkTableIII_SideChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunSideChannelTable([]time.Duration{time.Second}, 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := rows[0]
+		errUS := float64(row.Mean-row.Nominal) / float64(time.Microsecond)
+		b.ReportMetric(errUS, "mean-error-us")
+		b.ReportMetric(float64(row.SD)/float64(time.Microsecond), "sd-us")
+	}
+}
+
+// BenchmarkFig6_PassiveAttacks runs the attack-vs-monitor matrix and
+// reports how many rows match the paper's expectations.
+func BenchmarkFig6_PassiveAttacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunPassiveAttackDemos(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		match := 0
+		for _, r := range rows {
+			if r.Detected == r.Expected {
+				match++
+			}
+		}
+		b.ReportMetric(float64(match), "rows-matching")
+		b.ReportMetric(float64(len(rows)), "rows-total")
+	}
+}
+
+// BenchmarkSec8C_NinjaShowdown measures detection probabilities for the
+// three Ninjas (paper: O-Ninja ~10%→~0% under spam; H-Ninja 100% at 4ms
+// falling with the interval; HT-Ninja 100%).
+func BenchmarkSec8C_NinjaShowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiment.RunNinjaShowdown(experiment.ShowdownConfig{Reps: 40, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			// Metric units must be whitespace-free.
+			name := strings.NewReplacer(" ", "_", "(", "", ")", "").Replace(c.Monitor + "/" + c.Param + "%")
+			b.ReportMetric(100*c.Probability(), name)
+		}
+	}
+}
+
+// BenchmarkFig7_Overhead measures monitoring overhead on the UnixBench-class
+// suite and reports the paper's headline categories.
+func BenchmarkFig7_Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunPerfOverhead(experiment.PerfConfig{Scale: 1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		report := func(bench, metric string) {
+			for _, row := range r.Rows {
+				if row.Benchmark == bench {
+					b.ReportMetric(100*row.Overhead("All three"), metric)
+				}
+			}
+		}
+		report("System Call Overhead", "syscall-overhead%")
+		report("Pipe-based Context Switching", "ctxswitch-overhead%")
+		report("File Copy 1024 bufsize", "diskio-overhead%")
+		report("Dhrystone 2", "cpu-overhead%")
+	}
+}
+
+// BenchmarkAblation_SeparateLogging quantifies the unified-logging claim:
+// per-auditor logging stacks cost far more than HyperTap's shared channel
+// on the syscall-heavy workload.
+func BenchmarkAblation_SeparateLogging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunPerfOverhead(experiment.PerfConfig{
+			Scale: 1, Seed: 1, IncludeAblation: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Benchmark == "System Call Overhead" {
+				b.ReportMetric(100*row.Overhead("All three"), "unified%")
+				b.ReportMetric(100*row.Overhead("All three (separate stacks)"), "separate%")
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: virtual
+// seconds per wall second for a fully monitored, busy 2-vCPU guest.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := hv.New(hv.Config{Guest: guest.Config{Seed: 7}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		feat := intercept.Features{
+			ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true, Syscalls: true, IO: true,
+		}
+		if _, err := m.EnableMonitoring(feat); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := workload.Launch(m, workload.MakeJ(2, 1<<20)); err != nil {
+			b.Fatal(err)
+		}
+		const virtual = 5 * time.Second
+		start := time.Now()
+		m.Run(virtual)
+		real := time.Since(start)
+		b.ReportMetric(virtual.Seconds()/real.Seconds(), "virtual-x")
+	}
+}
+
+// BenchmarkEventPublish measures the shared logging channel's raw
+// throughput with three registered auditors.
+func BenchmarkEventPublish(b *testing.B) {
+	em := core.NewMultiplexer()
+	for _, name := range []string{"a", "b", "c"} {
+		aud := &core.AuditorFunc{AuditorName: name, EventMask: core.MaskAll, Fn: func(*core.Event) {}}
+		if err := em.Register(aud, core.DeliverSync, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ev := &core.Event{Type: core.EvSyscall, SyscallNr: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i)
+		em.Publish(ev)
+	}
+}
+
+// BenchmarkInjectionRun measures one end-to-end fault-injection run (boot,
+// workload, injection, detection, classification).
+func BenchmarkInjectionRun(b *testing.B) {
+	site := findBenchSite(b)
+	for i := 0; i < b.N; i++ {
+		rr, err := experiment.RunInjection(experiment.InjectionConfig{
+			Workload:  "make -j2",
+			Fault:     inject.Fault{Site: site, Persistence: inject.Persistent},
+			Threshold: 4 * time.Second,
+			Exposure:  15 * time.Second,
+			Runway:    12 * time.Second,
+			Observe:   30 * time.Second,
+			Seed:      int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rr.Outcome == inject.NotActivated {
+			b.Fatal("benchmark fault never activated")
+		}
+	}
+}
+
+func findBenchSite(b *testing.B) guest.SiteID {
+	b.Helper()
+	m, err := hv.New(hv.Config{VCPUs: 1, MemBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range m.Kernel().Sites() {
+		if s.Kind == guest.FaultMissingRelease && s.Path == guest.SysWrite {
+			return s.ID
+		}
+	}
+	b.Fatal("no bench site")
+	return 0
+}

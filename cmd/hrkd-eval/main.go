@@ -1,0 +1,45 @@
+// Command hrkd-eval regenerates Table II: every real-world rootkit of the
+// paper's catalog, rebuilt on its hiding techniques (DKOM, syscall
+// hijacking, kmem patching), run against Hidden RootKit Detection's
+// cross-view validation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypertap/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hrkd-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of the table")
+	flag.Parse()
+
+	result, err := experiment.RunHRKDMatrix(*seed)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := result.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		if !result.AllDetected() {
+			return fmt.Errorf("detection gap: see JSON output")
+		}
+		return nil
+	}
+	fmt.Print(experiment.FormatHRKD(result))
+	if !result.AllDetected() {
+		return fmt.Errorf("detection gap: see table above")
+	}
+	return nil
+}

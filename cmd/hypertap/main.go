@@ -1,0 +1,177 @@
+// Command hypertap boots a monitored VM, attaches the three example auditors
+// (GOSHD, HRKD, HT-Ninja), runs a demo workload, and streams the unified
+// event log plus auditor verdicts. It demonstrates the full framework on one
+// screen; optionally it heartbeats to a Remote Health Checker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/auditors/hrkd"
+	"hypertap/internal/auditors/ped"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/trace"
+	"hypertap/internal/vmi"
+	"hypertap/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hypertap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		duration  = flag.Duration("duration", 10*time.Second, "virtual time to run")
+		vcpus     = flag.Int("vcpus", 2, "virtual CPUs")
+		sysenter  = flag.Bool("sysenter", false, "use the fast-syscall gate instead of INT 0x80")
+		tailEvent = flag.Int("tail", 20, "print the first N decoded events per type")
+		withRHC   = flag.Bool("rhc", false, "start a Remote Health Checker and heartbeat to it over TCP")
+		traceFile = flag.String("trace", "", "record the event stream to a JSONL trace file")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	cfg := hv.Config{VCPUs: *vcpus, Guest: guest.Config{Seed: *seed}}
+	if *sysenter {
+		cfg.Guest.Mech = guest.MechSysenter
+	}
+	m, err := hv.New(cfg)
+	if err != nil {
+		return err
+	}
+	engine, err := m.EnableMonitoring(intercept.Features{
+		ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true, Syscalls: true, IO: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Event tail printer.
+	printed := make(map[core.EventType]int)
+	tail := &core.AuditorFunc{AuditorName: "tail", EventMask: core.MaskAll, Fn: func(ev *core.Event) {
+		if printed[ev.Type] < *tailEvent {
+			printed[ev.Type]++
+			fmt.Println("  event:", ev)
+		}
+	}}
+	if err := m.EM().Register(tail, core.DeliverAsync, 0); err != nil {
+		return err
+	}
+
+	// Optional trace recording (offline analysis via cmd/trace-analyze).
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		rec := trace.NewRecorder(f, core.MaskAll)
+		if err := m.EM().Register(rec, core.DeliverAsync, 0); err != nil {
+			return err
+		}
+		defer func() {
+			_ = rec.Flush()
+			_ = f.Close()
+			fmt.Printf("trace: %d events written to %s\n", rec.Count(), *traceFile)
+		}()
+	}
+
+	// The three auditors.
+	det, err := goshd.New(goshd.Config{Clock: m.Clock(), VCPUs: *vcpus, Threshold: 4 * time.Second,
+		OnHang: func(a goshd.HangAlarm) { fmt.Println("ALARM:", a) }})
+	if err != nil {
+		return err
+	}
+	if err := m.EM().Register(det, core.DeliverAsync, 0); err != nil {
+		return err
+	}
+	if err := m.Boot(); err != nil {
+		return err
+	}
+	det.Start()
+
+	intro := vmi.New(m, m.Kernel().Symbols())
+	rk, err := hrkd.New(hrkd.Config{View: m, Counter: engine, Intro: intro})
+	if err != nil {
+		return err
+	}
+	if err := m.EM().Register(rk, core.DeliverAsync, 0); err != nil {
+		return err
+	}
+	htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(), View: m, Intro: intro,
+		OnDetect: func(d ped.Detection) { fmt.Println("ALARM:", d) }})
+	if err != nil {
+		return err
+	}
+	if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
+		return err
+	}
+
+	// Optional RHC over real TCP.
+	if *withRHC {
+		srv, err := core.NewRHCServer("127.0.0.1:0", 500*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		client, err := core.DialRHC(m.Name(), srv.Addr())
+		if err != nil {
+			return err
+		}
+		defer func() { _ = client.Close() }()
+		m.EM().SetSampler(64, client.Send)
+		fmt.Println("RHC listening on", srv.Addr())
+		go func() {
+			for alert := range srv.Alerts() {
+				fmt.Printf("RHC ALERT: %s silent for %v\n", alert.VM, alert.Silence.Round(time.Millisecond))
+			}
+		}()
+	}
+
+	// A demo workload.
+	if _, err := workload.Launch(m, workload.MakeJ(2, 1<<20)); err != nil {
+		return err
+	}
+	if _, err := m.Kernel().CreateProcess(workload.SSHD(), nil); err != nil {
+		return err
+	}
+
+	fmt.Printf("running %v of virtual time on %d vCPUs (%v gate)...\n",
+		*duration, *vcpus, m.Kernel().Config().Mech)
+	start := time.Now()
+	m.Run(*duration)
+	real := time.Since(start)
+
+	fmt.Printf("\ndone: %v virtual in %v real (%.0fx)\n", *duration, real.Round(time.Millisecond),
+		duration.Seconds()/real.Seconds())
+	st := m.Kernel().Stats()
+	fmt.Printf("guest: %d syscalls, %d context switches, %d procs created\n",
+		st.Syscalls, st.ContextSwitches, st.ProcsCreated)
+	fmt.Printf("exits: %d total\n", m.TotalExits())
+	fmt.Println("\nengine decode counts:")
+	for ty, n := range engine.Stats().Decoded {
+		fmt.Printf("  %-16v %d\n", ty, n)
+	}
+	fmt.Println("\nEM subscriptions:")
+	for _, s := range m.EM().Stats() {
+		fmt.Printf("  %-10s %-6v delivered=%d queued=%d dropped=%d\n",
+			s.Auditor, s.Mode, s.Delivered, s.Queued, s.Dropped)
+	}
+	report, err := rk.CrossCheck()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nHRKD cross-view: %d address spaces, %d threads, %d hidden\n",
+		report.ArchAddressSpaces, report.ArchThreads, len(report.Hidden))
+	fmt.Printf("process count (Fig. 3A): %d live address spaces\n", engine.CountProcesses())
+	return nil
+}

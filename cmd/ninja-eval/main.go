@@ -1,0 +1,126 @@
+// Command ninja-eval runs the Privilege Escalation Detection experiments of
+// §VIII-C: the /proc side channel (Table III), the attack demonstrations
+// against passive monitoring (Fig. 6), and the O-Ninja / H-Ninja / HT-Ninja
+// detection-probability showdown.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypertap/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ninja-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sidechannel = flag.Bool("sidechannel", true, "run the Table III side-channel measurement")
+		attacks     = flag.Bool("attacks", true, "run the Fig. 6 attack demonstrations")
+		showdown    = flag.Bool("showdown", true, "run the detection-probability showdown")
+		sweep       = flag.Bool("sweep", false, "trace the full detection-probability curves (slow)")
+		reps        = flag.Int("reps", 300, "attack repetitions per showdown cell (paper: 300)")
+		samples     = flag.Int("samples", 30, "side-channel samples per interval (paper: 30)")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
+		jsonOut     = flag.Bool("json", false, "emit JSON instead of tables")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *sidechannel {
+		rows, err := experiment.RunSideChannelTable(nil, *samples, *seed)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := experiment.WriteSideChannelJSON(os.Stdout, rows); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(experiment.FormatSideChannel(rows))
+			fmt.Println()
+		}
+	}
+	if *attacks {
+		rows, err := experiment.RunPassiveAttackDemos(*seed)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := experiment.WriteDemosJSON(os.Stdout, rows); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(experiment.FormatDemos(rows))
+			fmt.Println()
+		}
+	}
+	if *showdown {
+		cfg := experiment.ShowdownConfig{Reps: *reps, Seed: *seed}
+		if !*quiet {
+			start := time.Now()
+			cfg.Progress = func(done, total int) {
+				if done%25 == 0 || done == total {
+					fmt.Fprintf(os.Stderr, "\r%d/%d attacks (%v elapsed)", done, total,
+						time.Since(start).Round(time.Second))
+				}
+			}
+		}
+		cells, err := experiment.RunNinjaShowdown(cfg)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if *jsonOut {
+			if err := experiment.WriteShowdownJSON(os.Stdout, cells); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(experiment.FormatShowdown(cells))
+		}
+	}
+	if *sweep {
+		cfg := experiment.SweepConfig{Reps: *reps / 3, Seed: *seed}
+		if cfg.Reps < 20 {
+			cfg.Reps = 20
+		}
+		hPoints, err := experiment.RunHNinjaIntervalSweep(nil, cfg)
+		if err != nil {
+			return err
+		}
+		oPoints, err := experiment.RunONinjaSpamSweep(nil, cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := encodeSweeps(hPoints, oPoints); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println()
+			fmt.Print(experiment.FormatSweep("H-Ninja detection probability vs polling interval (4ms attack):", hPoints))
+			fmt.Println()
+			fmt.Print(experiment.FormatSweep("O-Ninja (continuous) detection probability vs process count:", oPoints))
+		}
+	}
+	return nil
+}
+
+func encodeSweeps(h, o []experiment.SweepPoint) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string][]experiment.SweepPoint{
+		"hninja_interval_sweep": h,
+		"oninja_spam_sweep":     o,
+	})
+}

@@ -1,0 +1,55 @@
+// Command perf-eval regenerates Fig. 7: the performance overhead of the
+// HyperTap auditors (HRKD only, HT-Ninja only, all three) over a
+// UnixBench-class workload suite, measured in virtual completion time
+// against an unmonitored baseline. The optional ablation adds the
+// separate-logging-stacks configuration that quantifies the unified-logging
+// benefit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypertap/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perf-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale    = flag.Int("scale", 2, "workload scale multiplier")
+		ablation = flag.Bool("ablation", true, "include the separate-stacks ablation")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of the table")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := experiment.PerfConfig{Scale: *scale, Seed: *seed, IncludeAblation: *ablation}
+	if !*quiet {
+		start := time.Now()
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d measurements (%v elapsed)", done, total,
+				time.Since(start).Round(time.Second))
+		}
+	}
+	result, err := experiment.RunPerfOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if *jsonOut {
+		return result.WriteJSON(os.Stdout)
+	}
+	fmt.Print(experiment.FormatPerf(result))
+	return nil
+}

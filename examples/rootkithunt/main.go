@@ -1,0 +1,118 @@
+// Rootkithunt: HRKD unmasking a DKOM rootkit. A SucKIT-style module unlinks
+// a malicious process from the kernel task list; the in-guest ps and the
+// hypervisor's VMI walk both lose it, but the process keeps using the CPU —
+// and the CPU cannot lie.
+//
+//	go run ./examples/rootkithunt
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hypertap/internal/auditors/hrkd"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/malware"
+	"hypertap/internal/vmi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rootkithunt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	m, err := hv.New(hv.Config{Name: "rootkithunt", VCPUs: 2})
+	if err != nil {
+		return err
+	}
+	engine, err := m.EnableMonitoring(intercept.Features{
+		ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true,
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.Boot(); err != nil {
+		return err
+	}
+
+	intro := vmi.New(m, m.Kernel().Symbols())
+	det, err := hrkd.New(hrkd.Config{View: m, Counter: engine, Intro: intro})
+	if err != nil {
+		return err
+	}
+	if err := m.EM().Register(det, core.DeliverAsync, 0); err != nil {
+		return err
+	}
+
+	// The malware: keeps working (that is the point — hidden miners,
+	// exfiltrators and bots all need CPU time).
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "malware", UID: 0,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.Compute(time.Millisecond),
+			guest.DoSyscall(guest.SysWrite, 1, 4096),
+			guest.Sleep(time.Millisecond),
+		}},
+	}, nil); err != nil {
+		return err
+	}
+	m.Run(100 * time.Millisecond)
+
+	countVisible := func() int {
+		entries, err := intro.ListProcesses()
+		if err != nil {
+			return -1
+		}
+		n := 0
+		for _, e := range entries {
+			if e.Comm == "malware" {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("before rootkit: VMI sees %d malware process(es)\n", countVisible())
+
+	// SucKIT from the Table II catalog, hiding everything named "malware".
+	var entry malware.CatalogEntry
+	for _, e := range malware.Catalog() {
+		if e.Name == "SucKIT" {
+			entry = e
+		}
+	}
+	rk := entry.Build("malware")
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "dropper", UID: 0,
+		Program: guest.NewStepList(guest.LoadModule(rk)),
+	}, nil); err != nil {
+		return err
+	}
+	m.Run(200 * time.Millisecond)
+	fmt.Printf("after %s (%v): VMI sees %d malware process(es), unlinked pids %v\n",
+		entry.Name, entry.Techniques, countVisible(), rk.Unlinked())
+
+	// HRKD's cross-view validation.
+	report, err := det.CrossCheck()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nHRKD cross-view at %v:\n", report.At.Round(time.Millisecond))
+	fmt.Printf("  architectural address spaces: %d\n", report.ArchAddressSpaces)
+	fmt.Printf("  architectural threads (recently on CPU): %d\n", report.ArchThreads)
+	fmt.Printf("  tasks in the (untrusted) list view: %d\n", report.ViewTasks)
+	for _, f := range report.Hidden {
+		fmt.Printf("  FINDING: %v\n", f)
+	}
+	if !report.Detected() {
+		return fmt.Errorf("the rootkit escaped (this should not happen)")
+	}
+	fmt.Println("\nthe rootkit hid from every OS-invariant view and was still caught.")
+	return nil
+}

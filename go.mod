@@ -1,0 +1,3 @@
+module hypertap
+
+go 1.22

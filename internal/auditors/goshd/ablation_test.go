@@ -1,0 +1,147 @@
+package goshd_test
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/experiment"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/inject"
+)
+
+// aggregateWatchdog is the ablation of GOSHD's per-vCPU independence: one
+// watchdog reset by a context switch on ANY vCPU — the behaviour of naive
+// whole-VM liveness checks (and of heartbeat probes, §VII-A1).
+type aggregateWatchdog struct {
+	clock interface {
+		Now() time.Duration
+	}
+	last    time.Duration
+	alarmAt time.Duration
+}
+
+func (w *aggregateWatchdog) Name() string { return "aggregate-watchdog" }
+func (w *aggregateWatchdog) Mask() core.EventMask {
+	return core.MaskOf(core.EvThreadSwitch, core.EvProcessSwitch)
+}
+func (w *aggregateWatchdog) HandleEvent(ev *core.Event) { w.last = ev.Time }
+
+// TestAblationPerVCPUWatchingDetectsPartialHangs pins the paper's central
+// GOSHD design choice: with a partial hang (one vCPU dead, the other alive),
+// the per-vCPU detector alarms while the aggregate watchdog — like an
+// external heartbeat — keeps seeing liveness and stays silent.
+func TestAblationPerVCPUWatchingDetectsPartialHangs(t *testing.T) {
+	m, err := hv.New(hv.Config{VCPUs: 2, MemBytes: 64 << 20, Guest: guest.Config{Seed: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EnableMonitoring(intercept.Features{ProcessSwitch: true, ThreadSwitch: true}); err != nil {
+		t.Fatal(err)
+	}
+	perVCPU, err := goshd.New(goshd.Config{Clock: m.Clock(), VCPUs: 2, Threshold: 4 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(perVCPU, core.DeliverAsync, 0); err != nil {
+		t.Fatal(err)
+	}
+	agg := &aggregateWatchdog{clock: m.Clock()}
+	if err := m.EM().Register(agg, core.DeliverAsync, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	perVCPU.Start()
+
+	// A CPU-bound task pinned to vCPU 0 whose kernel path we poison: its
+	// missing-release fault self-deadlocks vCPU 0 only (no one on vCPU 1
+	// touches the tty lock except the kworkers, which also log — pick the
+	// PID-table lock instead, touched by nobody else here).
+	var site guest.SiteID
+	for _, s := range m.Kernel().Sites() {
+		if s.Kind == guest.FaultMissingRelease && s.Path == guest.SysKill {
+			site = s.ID
+			break
+		}
+	}
+	plan, err := inject.NewPlan(inject.Fault{Site: site, Persistence: inject.Persistent}, m.Clock().Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Kernel().SetFaultPlan(plan)
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "kill-loop", UID: 0, Pinned: true, CPUAffinity: 0,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.DoSyscall(guest.SysKill, 99999), // ESRCH, but walks the poisoned path
+			guest.Compute(time.Millisecond),
+		}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Keep vCPU 1 visibly alive.
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "alive", UID: 1, Pinned: true, CPUAffinity: 1,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.Compute(time.Millisecond), guest.Sleep(time.Millisecond),
+		}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	m.RunUntil(30*time.Second, func() bool { return len(perVCPU.Alarms()) > 0 })
+	m.Run(2 * time.Second)
+
+	if !perVCPU.PartialHang() {
+		t.Fatalf("per-vCPU detector saw no partial hang (alarms=%v)", perVCPU.Alarms())
+	}
+	// The ablated watchdog saw a switch recently: it would not alarm.
+	gap := m.Clock().Now() - agg.last
+	if gap >= 4*time.Second {
+		t.Fatalf("aggregate watchdog also starved (gap %v); the ablation comparison is void", gap)
+	}
+	t.Logf("per-vCPU: partial hang on vcpus %v; aggregate watchdog last fed %v ago (would stay silent)",
+		perVCPU.HungVCPUs(), gap.Round(time.Millisecond))
+}
+
+// TestAblationMatchesCampaignClassifier cross-checks the ablation against
+// the experiment-level classifier on the same fault: the campaign must call
+// it a partial hang.
+func TestAblationMatchesCampaignClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second injection run")
+	}
+	m, err := hv.New(hv.Config{VCPUs: 1, MemBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var site guest.SiteID
+	for _, s := range m.Kernel().Sites() {
+		if s.Kind == guest.FaultMissingRelease && s.Path == guest.SysRead {
+			site = s.ID
+			break
+		}
+	}
+	rr, err := experiment.RunInjection(experiment.InjectionConfig{
+		Workload:  "make -j1",
+		Fault:     inject.Fault{Site: site, Persistence: inject.Persistent},
+		Threshold: 4 * time.Second,
+		Exposure:  15 * time.Second,
+		Runway:    12 * time.Second,
+		Observe:   20 * time.Second,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Outcome != inject.PartialHang && rr.Outcome != inject.FullHang {
+		t.Fatalf("classifier outcome = %v, want a detected hang", rr.Outcome)
+	}
+	if lat, ok := rr.DetectionLatency(); !ok || lat < 4*time.Second {
+		t.Fatalf("detection latency = %v,%v (must be at least the threshold)", lat, ok)
+	}
+}

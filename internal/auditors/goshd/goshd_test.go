@@ -1,0 +1,201 @@
+package goshd
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/vclock"
+)
+
+func newDetector(t *testing.T, clock *vclock.Clock, vcpus int, threshold time.Duration) *Detector {
+	t.Helper()
+	d, err := New(Config{Clock: clock, VCPUs: vcpus, Threshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func switchEvent(vcpu int, at time.Duration) *core.Event {
+	return &core.Event{Type: core.EvThreadSwitch, VCPU: vcpu, Time: at}
+}
+
+func TestNewValidation(t *testing.T) {
+	clock := &vclock.Clock{}
+	cases := []Config{
+		{VCPUs: 2, Threshold: time.Second},                // no clock
+		{Clock: clock, Threshold: time.Second},            // no vcpus
+		{Clock: clock, VCPUs: 2},                          // no threshold
+		{Clock: clock, VCPUs: -1, Threshold: time.Second}, // bad vcpus
+		{Clock: clock, VCPUs: 2, Threshold: -time.Second}, // bad threshold
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNameAndMask(t *testing.T) {
+	clock := &vclock.Clock{}
+	d := newDetector(t, clock, 2, time.Second)
+	if d.Name() != "goshd" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if !d.Mask().Has(core.EvThreadSwitch) || !d.Mask().Has(core.EvProcessSwitch) {
+		t.Error("mask missing context-switch events")
+	}
+	if d.Mask().Has(core.EvSyscall) {
+		t.Error("mask includes syscalls")
+	}
+}
+
+func TestNoAlarmWhileSwitching(t *testing.T) {
+	clock := &vclock.Clock{}
+	d := newDetector(t, clock, 1, 4*time.Second)
+	d.Start()
+	for i := 0; i < 20; i++ {
+		clock.Advance(time.Second)
+		d.HandleEvent(switchEvent(0, clock.Now()))
+	}
+	if len(d.Alarms()) != 0 {
+		t.Fatalf("alarms = %v on a live vCPU", d.Alarms())
+	}
+}
+
+func TestAlarmOnSilence(t *testing.T) {
+	clock := &vclock.Clock{}
+	var hangs []HangAlarm
+	d, err := New(Config{Clock: clock, VCPUs: 2, Threshold: 4 * time.Second,
+		OnHang: func(a HangAlarm) { hangs = append(hangs, a) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+
+	// vCPU 1 keeps switching, vCPU 0 goes silent at t=2s.
+	clock.Advance(2 * time.Second)
+	d.HandleEvent(switchEvent(0, clock.Now()))
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Second)
+		d.HandleEvent(switchEvent(1, clock.Now()))
+	}
+
+	alarms := d.Alarms()
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(alarms))
+	}
+	if alarms[0].VCPU != 0 {
+		t.Errorf("alarm vcpu = %d, want 0", alarms[0].VCPU)
+	}
+	if alarms[0].At != 6*time.Second {
+		t.Errorf("alarm at %v, want 6s (last switch 2s + threshold 4s)", alarms[0].At)
+	}
+	if alarms[0].LastSwitch != 2*time.Second {
+		t.Errorf("last switch = %v, want 2s", alarms[0].LastSwitch)
+	}
+	if len(hangs) != 1 {
+		t.Errorf("OnHang called %d times, want 1", len(hangs))
+	}
+	if !d.PartialHang() || d.FullHang() {
+		t.Error("one of two hung vCPUs must be a partial hang")
+	}
+}
+
+func TestFullHang(t *testing.T) {
+	clock := &vclock.Clock{}
+	d := newDetector(t, clock, 2, time.Second)
+	d.Start()
+	clock.Advance(5 * time.Second)
+	if !d.FullHang() {
+		t.Fatal("both silent vCPUs should be a full hang")
+	}
+	if d.PartialHang() {
+		t.Fatal("full hang misreported as partial")
+	}
+	if got := len(d.HungVCPUs()); got != 2 {
+		t.Fatalf("hung vCPUs = %d, want 2", got)
+	}
+	first, ok := d.FirstAlarm()
+	if !ok || first.At != time.Second {
+		t.Fatalf("first alarm = %+v, %v", first, ok)
+	}
+}
+
+func TestRecoveryClearsHang(t *testing.T) {
+	clock := &vclock.Clock{}
+	d := newDetector(t, clock, 1, time.Second)
+	d.Start()
+	clock.Advance(2 * time.Second) // hang
+	if len(d.HungVCPUs()) != 1 {
+		t.Fatal("no hang detected")
+	}
+	// The vCPU resumes (lock released): condition clears and watching
+	// resumes.
+	d.HandleEvent(switchEvent(0, clock.Now()))
+	if len(d.HungVCPUs()) != 0 {
+		t.Fatal("hang not cleared after resume")
+	}
+	clock.Advance(2 * time.Second)
+	if got := len(d.Alarms()); got != 2 {
+		t.Fatalf("alarms after re-hang = %d, want 2", got)
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	clock := &vclock.Clock{}
+	d := newDetector(t, clock, 1, time.Second)
+	d.Start()
+	d.Start()
+	clock.Advance(3 * time.Second)
+	if got := len(d.Alarms()); got != 1 {
+		t.Fatalf("alarms = %d after double Start, want 1", got)
+	}
+}
+
+func TestEventsBeforeStartDoNotArm(t *testing.T) {
+	clock := &vclock.Clock{}
+	d := newDetector(t, clock, 1, time.Second)
+	d.HandleEvent(switchEvent(0, 0))
+	clock.Advance(5 * time.Second)
+	if len(d.Alarms()) != 0 {
+		t.Fatal("alarm fired before Start")
+	}
+}
+
+func TestOutOfRangeVCPUIgnored(t *testing.T) {
+	clock := &vclock.Clock{}
+	d := newDetector(t, clock, 1, time.Second)
+	d.Start()
+	d.HandleEvent(switchEvent(7, 0)) // must not panic
+	d.HandleEvent(switchEvent(-1, 0))
+}
+
+func TestAlarmString(t *testing.T) {
+	a := HangAlarm{VCPU: 1, At: 6 * time.Second, LastSwitch: 2 * time.Second}
+	if a.String() == "" {
+		t.Fatal("empty alarm string")
+	}
+}
+
+func TestProfiler(t *testing.T) {
+	p := NewProfiler(2)
+	if p.Name() == "" || !p.Mask().Has(core.EvThreadSwitch) {
+		t.Fatal("profiler identity broken")
+	}
+	times := []time.Duration{0, 100 * time.Millisecond, 1900 * time.Millisecond, 2 * time.Second}
+	for _, at := range times {
+		p.HandleEvent(switchEvent(0, at))
+	}
+	p.HandleEvent(switchEvent(1, 0))
+	p.HandleEvent(switchEvent(1, 500*time.Millisecond))
+	p.HandleEvent(switchEvent(7, 0)) // ignored
+
+	if got := p.MaxGap(); got != 1800*time.Millisecond {
+		t.Fatalf("MaxGap = %v, want 1.8s", got)
+	}
+	if got := p.RecommendedThreshold(); got != 3600*time.Millisecond {
+		t.Fatalf("RecommendedThreshold = %v, want 3.6s (2x max)", got)
+	}
+}

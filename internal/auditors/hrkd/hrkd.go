@@ -1,0 +1,234 @@
+// Package hrkd implements Hidden RootKit Detection, the paper's security
+// auditor built on the same context-switch events as GOSHD (§VII-B).
+//
+// HRKD's insight is that a process or thread can hide from every OS-level
+// view, but not from the CPU: to run, it must load its page directory into
+// CR3 and its kernel stack into TSS.RSP0 — architectural invariants HyperTap
+// intercepts. HRKD therefore maintains two *trusted* views:
+//
+//   - the address-space view: the PDBA set of the process-counting
+//     algorithm (Fig. 3A), giving a lower bound on live user processes;
+//   - the execution view: every thread observed in a thread-switch event,
+//     identified by its task_struct derived via RSP0 → thread_info.
+//
+// Cross-validating those views against OS-invariant views (the VMI list
+// walk, or an in-guest ps report) reveals hidden processes regardless of the
+// hiding technique: DKOM, syscall hijacking and kmem patching all corrupt
+// only the untrusted side of the comparison.
+package hrkd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+	"hypertap/internal/vmi"
+)
+
+// ProcessCounter is the slice of the interception engine HRKD needs: the
+// Fig. 3A process-counting algorithm.
+type ProcessCounter interface {
+	CountProcesses() int
+}
+
+// SeenThread is one thread observed using a vCPU, with its derived identity.
+type SeenThread struct {
+	PID      int
+	Comm     string
+	TaskGVA  arch.GVA
+	LastSeen time.Duration
+	Switches uint64
+	// KernelThread marks tasks flagged as kthreads in their task_struct.
+	KernelThread bool
+}
+
+// Finding is one detected hidden task.
+type Finding struct {
+	PID    int
+	Comm   string
+	Reason string
+	At     time.Duration
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("hrkd: hidden task pid=%d comm=%q (%s) at %v", f.PID, f.Comm, f.Reason, f.At)
+}
+
+// CrossViewReport is the result of one cross-validation pass.
+type CrossViewReport struct {
+	// At is the virtual time of the check.
+	At time.Duration
+	// ArchAddressSpaces is the swept PDBA count (trusted lower bound on
+	// user processes + the kernel's init_mm).
+	ArchAddressSpaces int
+	// ArchThreads is the number of distinct recently-seen threads.
+	ArchThreads int
+	// ViewTasks is the number of tasks the compared (untrusted) view shows.
+	ViewTasks int
+	// Hidden lists tasks present architecturally but absent from the view.
+	Hidden []Finding
+}
+
+// Detected reports whether the pass found hidden tasks.
+func (r *CrossViewReport) Detected() bool { return len(r.Hidden) > 0 }
+
+// Config describes a detector.
+type Config struct {
+	// View is the guest helper API.
+	View core.GuestView
+	// Counter is the Fig. 3A process counter (the interception engine).
+	Counter ProcessCounter
+	// Intro decodes guest structures for identity derivation.
+	Intro *vmi.Introspector
+	// Window is how recently a thread must have run to count as live in a
+	// cross-check. Default 2s.
+	Window time.Duration
+}
+
+// Detector is the HRKD auditor.
+type Detector struct {
+	cfg Config
+
+	mu sync.Mutex
+	// seen maps RSP0 → thread identity, keyed by the architectural thread
+	// identifier the paper proposes.
+	seen map[arch.GVA]*SeenThread
+}
+
+// New builds the detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.View == nil || cfg.Counter == nil || cfg.Intro == nil {
+		return nil, fmt.Errorf("hrkd: Config requires View, Counter and Intro")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 2 * time.Second
+	}
+	return &Detector{cfg: cfg, seen: make(map[arch.GVA]*SeenThread)}, nil
+}
+
+var _ core.Auditor = (*Detector)(nil)
+
+// Name implements core.Auditor.
+func (d *Detector) Name() string { return "hrkd" }
+
+// Mask implements core.Auditor: the same context-switch events GOSHD uses.
+func (d *Detector) Mask() core.EventMask {
+	return core.MaskOf(core.EvThreadSwitch, core.EvProcessSwitch)
+}
+
+// HandleEvent implements core.Auditor: each thread switch puts the incoming
+// thread on the inspection list, whatever any kernel list says.
+func (d *Detector) HandleEvent(ev *core.Event) {
+	if ev.Type != core.EvThreadSwitch {
+		return
+	}
+	cr3 := ev.Regs.CR3
+	if cr3 == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.seen[ev.RSP0]
+	if !ok {
+		entry, err := d.cfg.Intro.DeriveTaskFromRSP0(cr3, ev.RSP0)
+		if err != nil {
+			return
+		}
+		gva, err := d.cfg.Intro.TaskStructGVAFromRSP0(cr3, ev.RSP0)
+		if err != nil {
+			return
+		}
+		flags, _ := d.cfg.View.ReadU32GVA(cr3, gva+guest.TaskOffFlags)
+		st = &SeenThread{
+			PID:          entry.PID,
+			Comm:         entry.Comm,
+			TaskGVA:      gva,
+			KernelThread: flags&guest.TaskFlagKernelThread != 0,
+		}
+		d.seen[ev.RSP0] = st
+	}
+	st.LastSeen = ev.Time
+	st.Switches++
+}
+
+// SeenThreads snapshots the execution view.
+func (d *Detector) SeenThreads() []SeenThread {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]SeenThread, 0, len(d.seen))
+	for _, st := range d.seen {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// CrossCheck validates the architectural views against the hypervisor-side
+// VMI list walk (the strongest untrusted view available out-of-VM).
+func (d *Detector) CrossCheck() (*CrossViewReport, error) {
+	list, err := d.cfg.Intro.ListProcesses()
+	if err != nil {
+		return nil, fmt.Errorf("hrkd: VMI comparison view: %w", err)
+	}
+	return d.CrossCheckAgainst(list), nil
+}
+
+// CrossCheckAgainst validates the architectural views against any
+// OS-invariant task listing — the VMI walk or an in-guest ps/Task Manager
+// report ("a trusted view that can be cross-validated against other views").
+func (d *Detector) CrossCheckAgainst(view []guest.ProcEntry) *CrossViewReport {
+	now := d.cfg.View.Now()
+	inView := make(map[int]bool, len(view))
+	for _, e := range view {
+		inView[e.PID] = true
+	}
+
+	report := &CrossViewReport{
+		At:                now,
+		ArchAddressSpaces: d.cfg.Counter.CountProcesses(),
+		ViewTasks:         len(view),
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for rsp0, st := range d.seen {
+		if now-st.LastSeen > d.cfg.Window {
+			// Stale: the thread has not run recently; drop it so exited
+			// tasks do not pollute the comparison.
+			delete(d.seen, rsp0)
+			continue
+		}
+		report.ArchThreads++
+		if inView[st.PID] {
+			continue
+		}
+		// Seen on the CPU but absent from the list: hidden — unless it
+		// legitimately exited a moment ago. Consult its task_struct state
+		// (still readable; the arena is not recycled within the window).
+		if state, err := d.taskState(st.TaskGVA); err == nil && state == guest.StateZombie {
+			continue
+		}
+		report.Hidden = append(report.Hidden, Finding{
+			PID:    st.PID,
+			Comm:   st.Comm,
+			Reason: "runs on CPU but absent from task list",
+			At:     now,
+		})
+	}
+	sort.Slice(report.Hidden, func(i, j int) bool { return report.Hidden[i].PID < report.Hidden[j].PID })
+	return report
+}
+
+// taskState reads the live state field of a task_struct.
+func (d *Detector) taskState(gva arch.GVA) (guest.TaskState, error) {
+	cr3 := d.cfg.View.Regs(0).CR3
+	v, err := d.cfg.View.ReadU32GVA(cr3, gva+guest.TaskOffState)
+	if err != nil {
+		return 0, err
+	}
+	return guest.TaskState(v), nil
+}

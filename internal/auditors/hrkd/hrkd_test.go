@@ -1,0 +1,325 @@
+package hrkd_test
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/auditors/hrkd"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/malware"
+	"hypertap/internal/vmi"
+)
+
+// rig is a monitored VM with HRKD attached.
+type rig struct {
+	m     *hv.Machine
+	det   *hrkd.Detector
+	intro *vmi.Introspector
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	m, err := hv.New(hv.Config{VCPUs: 2, MemBytes: 64 << 20, Guest: guest.Config{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := m.EnableMonitoring(intercept.Features{
+		ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	intro := vmi.New(m, m.Kernel().Symbols())
+	det, err := hrkd.New(hrkd.Config{View: m, Counter: engine, Intro: intro})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(det, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{m: m, det: det, intro: intro}
+}
+
+func (r *rig) addProc(t *testing.T, comm string, uid uint32) *guest.Task {
+	t.Helper()
+	task, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: comm, UID: uid,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.Compute(time.Millisecond),
+			guest.Sleep(2 * time.Millisecond),
+		}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := hrkd.New(hrkd.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	r := newRig(t)
+	if r.det.Name() != "hrkd" {
+		t.Errorf("Name = %q", r.det.Name())
+	}
+	if !r.det.Mask().Has(core.EvThreadSwitch) {
+		t.Error("mask missing thread switches")
+	}
+}
+
+func TestCleanSystemNoFindings(t *testing.T) {
+	r := newRig(t)
+	r.addProc(t, "clean", 100)
+	r.m.Run(100 * time.Millisecond)
+
+	report, err := r.det.CrossCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Detected() {
+		t.Fatalf("false positives on a clean system: %v", report.Hidden)
+	}
+	if report.ArchThreads == 0 || report.ArchAddressSpaces == 0 {
+		t.Fatalf("empty architectural views: %+v", report)
+	}
+}
+
+func TestSeenThreadsIdentifyRunners(t *testing.T) {
+	r := newRig(t)
+	r.addProc(t, "runner", 100)
+	r.m.Run(100 * time.Millisecond)
+	var found bool
+	for _, st := range r.det.SeenThreads() {
+		if st.Comm == "runner" && st.Switches > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runner never appeared in the execution view")
+	}
+}
+
+func TestDetectsDKOMHiddenProcess(t *testing.T) {
+	r := newRig(t)
+	r.addProc(t, "malware", 0)
+	r.m.Run(30 * time.Millisecond)
+
+	rk := &malware.Rootkit{RkName: "fu", Techniques: malware.TechDKOM, HideComm: "malware"}
+	if _, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "dropper", UID: 0,
+		Program: guest.NewStepList(guest.LoadModule(rk)),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.m.Run(100 * time.Millisecond)
+
+	report, err := r.det.CrossCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Detected() {
+		t.Fatal("DKOM-hidden process not detected")
+	}
+	var hit bool
+	for _, f := range report.Hidden {
+		if f.Comm == "malware" {
+			hit = true
+		}
+		if f.String() == "" {
+			t.Error("empty finding string")
+		}
+	}
+	if !hit {
+		t.Fatalf("findings name the wrong task: %v", report.Hidden)
+	}
+}
+
+func TestDetectsHiddenKernelThread(t *testing.T) {
+	r := newRig(t)
+	// A malicious kernel thread (no own address space — invisible to the
+	// CR3-based process count, caught by the thread-level view).
+	kt, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "evil-kthread", KernelThread: true,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.Compute(time.Millisecond),
+			guest.Sleep(time.Millisecond),
+		}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.m.Run(30 * time.Millisecond)
+
+	rk := &malware.Rootkit{RkName: "kthread-hider", Techniques: malware.TechDKOM, HidePIDs: []int{kt.PID}}
+	if _, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "dropper", UID: 0,
+		Program: guest.NewStepList(guest.LoadModule(rk)),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.m.Run(100 * time.Millisecond)
+
+	report, err := r.det.CrossCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, f := range report.Hidden {
+		if f.PID == kt.PID {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("hidden kernel thread not detected: %v", report.Hidden)
+	}
+}
+
+func TestExitedProcessesNotFlagged(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "brief", UID: 100,
+		Program: guest.NewStepList(guest.Compute(5 * time.Millisecond)),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.m.Run(50 * time.Millisecond) // runs, then exits
+
+	report, err := r.det.CrossCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range report.Hidden {
+		if f.Comm == "brief" {
+			t.Fatal("legitimately exited process flagged as hidden")
+		}
+	}
+}
+
+func TestStaleThreadsPruned(t *testing.T) {
+	r := newRig(t)
+	r.addProc(t, "w", 100)
+	r.m.Run(50 * time.Millisecond)
+	before := len(r.det.SeenThreads())
+	if before == 0 {
+		t.Fatal("no seen threads")
+	}
+	// Kill everything user-level and wait past the window.
+	for _, task := range r.m.Kernel().TasksByComm("w") {
+		pid := task.PID
+		if _, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+			Comm: "killer", UID: 0,
+			Program: guest.NewStepList(guest.DoSyscall(guest.SysKill, uint64(pid))),
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.m.Run(3 * time.Second) // window is 2s
+	if _, err := r.det.CrossCheck(); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range r.det.SeenThreads() {
+		if st.Comm == "w" {
+			t.Fatal("dead thread survived pruning")
+		}
+	}
+}
+
+// Ablation (§IV-B): a detector that trusts only OS invariants — comparing
+// the in-guest view against VMI — cannot see a DKOM rootkit, because both
+// views read the same corrupted list. The architectural view is what makes
+// detection possible.
+func TestAblationVMIOnlyMissesDKOM(t *testing.T) {
+	r := newRig(t)
+	r.addProc(t, "malware", 0)
+	r.m.Run(30 * time.Millisecond)
+	rk := &malware.Rootkit{RkName: "suckit", Techniques: malware.TechKmem | malware.TechDKOM, HideComm: "malware"}
+	if _, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "dropper", UID: 0,
+		Program: guest.NewStepList(guest.LoadModule(rk)),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.m.Run(50 * time.Millisecond)
+
+	// The "VMI-only detector": diff VMI listing vs itself — both miss it.
+	vmiView, err := r.intro.ListProcesses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range vmiView {
+		if e.Comm == "malware" {
+			t.Fatal("VMI still sees the DKOM'd process; ablation premise broken")
+		}
+	}
+	// HRKD's architectural cross-view still catches it.
+	report := r.det.CrossCheckAgainst(vmiView)
+	if !report.Detected() {
+		t.Fatal("architectural cross-view failed where it must succeed")
+	}
+}
+
+func TestDetectsHiddenUserThread(t *testing.T) {
+	r := newRig(t)
+	// A multi-threaded app: the leader stays visible while a rootkit hides
+	// one worker thread — the thread-level hiding the paper says HRKD
+	// catches "regardless of their hiding mechanisms".
+	leader, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "app", UID: 1000,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.Compute(time.Millisecond), guest.Sleep(time.Millisecond),
+		}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "app-worker", UID: 1000, ThreadOfPID: leader.PID,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.Compute(time.Millisecond), guest.Sleep(time.Millisecond),
+		}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.m.Run(30 * time.Millisecond)
+
+	rk := &malware.Rootkit{RkName: "threadhider", Techniques: malware.TechDKOM,
+		HidePIDs: []int{worker.PID}}
+	if _, err := r.m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "dropper", UID: 0,
+		Program: guest.NewStepList(guest.LoadModule(rk)),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.m.Run(100 * time.Millisecond)
+
+	report, err := r.det.CrossCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hitWorker, flaggedLeader bool
+	for _, f := range report.Hidden {
+		if f.PID == worker.PID {
+			hitWorker = true
+		}
+		if f.PID == leader.PID {
+			flaggedLeader = true
+		}
+	}
+	if !hitWorker {
+		t.Fatalf("hidden thread not detected: %v", report.Hidden)
+	}
+	if flaggedLeader {
+		t.Fatal("visible leader falsely flagged")
+	}
+}

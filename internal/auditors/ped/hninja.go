@@ -1,0 +1,170 @@
+package ped
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hypertap/internal/guest"
+	"hypertap/internal/vclock"
+	"hypertap/internal/vmi"
+)
+
+// HNinja is Ninja's policy moved to the hypervisor using traditional VMI:
+// it polls the guest's task list (decoded from guest memory) on a fixed
+// interval. Compared to O-Ninja it leaves no /proc footprint inside the
+// guest — the side channel of Table III fails against it — and in blocking
+// mode its scan is atomic, deflecting spamming. It remains *passive* and
+// built on *OS invariants*, so transient attacks (between polls) and DKOM
+// rootkits (unlinking the task list) still defeat it: exactly the gap
+// HT-Ninja closes.
+type HNinja struct {
+	// Policy is the shared rule set.
+	Policy Policy
+	// Intro provides the VMI view of the guest.
+	Intro *vmi.Introspector
+	// Clock schedules the polls in virtual time.
+	Clock *vclock.Clock
+	// Interval is the polling period.
+	Interval time.Duration
+	// Blocking scans atomically (the VM is effectively paused during the
+	// walk). Non-blocking scans spread per-entry checks over PerEntryCost
+	// each, re-reading every entry at its check time — which is what a
+	// spamming attacker exploits.
+	Blocking bool
+	// PerEntryCost is the non-blocking per-entry check latency.
+	// Default 150µs.
+	PerEntryCost time.Duration
+
+	mu         sync.Mutex
+	detections []Detection
+	scans      uint64
+	started    bool
+	stopped    bool
+	timer      *vclock.Timer
+}
+
+// Start begins polling. It returns an error if the configuration is
+// incomplete or polling already started.
+func (h *HNinja) Start() error {
+	if h.Intro == nil || h.Clock == nil {
+		return fmt.Errorf("ped: HNinja requires Intro and Clock")
+	}
+	if h.Interval <= 0 {
+		return fmt.Errorf("ped: HNinja.Interval must be positive, got %v", h.Interval)
+	}
+	if h.PerEntryCost == 0 {
+		h.PerEntryCost = 150 * time.Microsecond
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.started {
+		return fmt.Errorf("ped: HNinja already started")
+	}
+	h.started = true
+	h.timer = h.Clock.AfterFunc(h.Interval, h.poll)
+	return nil
+}
+
+// Stop halts polling.
+func (h *HNinja) Stop() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stopped = true
+	if h.timer != nil {
+		h.Clock.Stop(h.timer)
+	}
+}
+
+// poll runs one scan and re-arms.
+func (h *HNinja) poll(now time.Duration) {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	h.scans++
+	h.timer = h.Clock.AfterFunc(h.Interval, h.poll)
+	h.mu.Unlock()
+
+	entries, err := h.Intro.ListProcesses()
+	if err != nil {
+		return
+	}
+	if h.Blocking {
+		for _, e := range entries {
+			h.check(e, now)
+		}
+		return
+	}
+	// Non-blocking: each entry is re-examined at its scan position. A
+	// process that exits (or hides) before the scan reaches it escapes.
+	for i, e := range entries {
+		pid := e.PID
+		delay := time.Duration(i+1) * h.PerEntryCost
+		h.Clock.AfterFunc(delay, func(at time.Duration) {
+			h.recheck(pid, at)
+		})
+	}
+}
+
+// check applies the policy to an atomic-scan entry.
+func (h *HNinja) check(e guest.ProcEntry, now time.Duration) {
+	if h.Policy.ViolatesEntry(e) {
+		h.record(Detection{PID: e.PID, Comm: e.Comm, At: now, By: "h-ninja", Trigger: "scan"})
+	}
+}
+
+// recheck re-reads one pid at its scheduled scan position (non-blocking
+// mode); missing or relinked entries escape, as on real hardware.
+func (h *HNinja) recheck(pid int, now time.Duration) {
+	h.mu.Lock()
+	stopped := h.stopped
+	h.mu.Unlock()
+	if stopped {
+		return
+	}
+	entries, err := h.Intro.ListProcesses()
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.PID != pid {
+			continue
+		}
+		if e.State == guest.StateZombie {
+			return
+		}
+		h.check(e, now)
+		return
+	}
+}
+
+func (h *HNinja) record(d Detection) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.detections = append(h.detections, d)
+}
+
+// Detections snapshots flagged processes.
+func (h *HNinja) Detections() []Detection {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Detection, len(h.detections))
+	copy(out, h.detections)
+	return out
+}
+
+// Detected reports whether any violation was flagged.
+func (h *HNinja) Detected() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.detections) > 0
+}
+
+// Scans returns completed poll count.
+func (h *HNinja) Scans() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.scans
+}

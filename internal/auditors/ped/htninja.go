@@ -1,0 +1,167 @@
+package ped
+
+import (
+	"fmt"
+	"sync"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+	"hypertap/internal/vmi"
+)
+
+// HTNinja is the HyperTap privilege-escalation auditor: Ninja's rules
+// enforced by *active* monitoring on *architectural* invariants (§VII-C).
+//
+// Checks fire at (i) the first context switch of every process and (ii)
+// every I/O-related system call — before the audited operation proceeds,
+// because the auditor runs synchronously while the vCPU is suspended. The
+// checked identity is derived from hardware state only: TR → TSS.RSP0 →
+// thread_info → task_struct, so neither /proc hijacking nor task-list DKOM
+// can blind it, and there is no polling interval to slip through.
+type HTNinja struct {
+	policy Policy
+	view   core.GuestView
+	intro  *vmi.Introspector
+	// onDetect, when set, runs synchronously per detection (e.g. pause the
+	// VM, schedule a kill).
+	onDetect func(Detection)
+
+	mu sync.Mutex
+	// seenPDBA marks address spaces already given their first-switch check.
+	seenPDBA map[arch.GPA]bool
+	// flagged de-duplicates detections per pid.
+	flagged    map[int]bool
+	detections []Detection
+	checks     uint64
+}
+
+// HTNinjaConfig assembles the auditor.
+type HTNinjaConfig struct {
+	Policy   Policy
+	View     core.GuestView
+	Intro    *vmi.Introspector
+	OnDetect func(Detection)
+}
+
+// NewHTNinja builds the auditor.
+func NewHTNinja(cfg HTNinjaConfig) (*HTNinja, error) {
+	if cfg.View == nil || cfg.Intro == nil {
+		return nil, fmt.Errorf("ped: HTNinjaConfig requires View and Intro")
+	}
+	return &HTNinja{
+		policy:   cfg.Policy,
+		view:     cfg.View,
+		intro:    cfg.Intro,
+		onDetect: cfg.OnDetect,
+		seenPDBA: make(map[arch.GPA]bool),
+		flagged:  make(map[int]bool),
+	}, nil
+}
+
+var _ core.Auditor = (*HTNinja)(nil)
+
+// Name implements core.Auditor.
+func (n *HTNinja) Name() string { return "ht-ninja" }
+
+// Mask implements core.Auditor: first context switches and system calls.
+func (n *HTNinja) Mask() core.EventMask {
+	return core.MaskOf(core.EvProcessSwitch, core.EvThreadSwitch, core.EvSyscall)
+}
+
+// HandleEvent implements core.Auditor.
+func (n *HTNinja) HandleEvent(ev *core.Event) {
+	switch ev.Type {
+	case core.EvProcessSwitch:
+		n.mu.Lock()
+		first := !n.seenPDBA[ev.PDBA]
+		n.seenPDBA[ev.PDBA] = true
+		n.mu.Unlock()
+		if first {
+			// First context switch of a (possibly brand-new) process:
+			// check the incoming task. The thread identity was stored
+			// into the TSS just before this CR3 load.
+			n.checkCurrent(ev, "first-switch")
+		}
+	case core.EvThreadSwitch:
+		// The incoming thread's stack base is the event payload; derive
+		// and check it. Cheap de-dup: only unflagged pids re-checked.
+		n.checkRSP0(ev, ev.RSP0, "thread-switch")
+	case core.EvSyscall:
+		if guest.IOSyscalls[guest.Syscall(ev.SyscallNr)] {
+			n.checkCurrent(ev, "io-syscall")
+		}
+	}
+}
+
+// checkCurrent derives the running task of the event's vCPU from the
+// architectural chain and applies the policy.
+func (n *HTNinja) checkCurrent(ev *core.Event, trigger string) {
+	cr3 := ev.Regs.CR3
+	if cr3 == 0 || ev.Regs.TR == 0 {
+		return
+	}
+	rsp0, err := n.view.ReadU64GVA(cr3, ev.Regs.TR+arch.TSSOffRSP0)
+	if err != nil {
+		return
+	}
+	n.checkRSP0(ev, arch.GVA(rsp0), trigger)
+}
+
+// checkRSP0 derives a task from a kernel stack pointer and applies the rule.
+func (n *HTNinja) checkRSP0(ev *core.Event, rsp0 arch.GVA, trigger string) {
+	cr3 := ev.Regs.CR3
+	if cr3 == 0 || rsp0 == 0 {
+		return
+	}
+	entry, err := n.intro.DeriveTaskFromRSP0(cr3, rsp0)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.checks++
+	already := n.flagged[entry.PID]
+	n.mu.Unlock()
+	if already || !n.policy.ViolatesEntry(entry) {
+		return
+	}
+	d := Detection{
+		PID: entry.PID, Comm: entry.Comm, At: ev.Time,
+		By: "ht-ninja", Trigger: trigger,
+	}
+	n.mu.Lock()
+	if n.flagged[entry.PID] {
+		n.mu.Unlock()
+		return
+	}
+	n.flagged[entry.PID] = true
+	n.detections = append(n.detections, d)
+	onDetect := n.onDetect
+	n.mu.Unlock()
+	if onDetect != nil {
+		onDetect(d)
+	}
+}
+
+// Detections snapshots flagged processes.
+func (n *HTNinja) Detections() []Detection {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Detection, len(n.detections))
+	copy(out, n.detections)
+	return out
+}
+
+// Detected reports whether any violation was flagged.
+func (n *HTNinja) Detected() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.detections) > 0
+}
+
+// Checks returns the number of policy evaluations performed.
+func (n *HTNinja) Checks() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.checks
+}

@@ -1,0 +1,354 @@
+package ped_test
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/auditors/ped"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/malware"
+	"hypertap/internal/vmi"
+)
+
+func bootVM(t *testing.T, monitored bool) (*hv.Machine, *vmi.Introspector) {
+	t.Helper()
+	m, err := hv.New(hv.Config{VCPUs: 2, MemBytes: 64 << 20, Guest: guest.Config{Seed: 13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if monitored {
+		if _, err := m.EnableMonitoring(intercept.Features{
+			ProcessSwitch: true, ThreadSwitch: true, Syscalls: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return m, vmi.New(m, m.Kernel().Symbols())
+}
+
+func spawnEscalatedUnderShell(t *testing.T, m *hv.Machine, linger time.Duration) *malware.AttackLog {
+	t.Helper()
+	shell, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "bash", UID: 1000,
+		Program: &guest.LoopProgram{Body: []guest.Step{guest.Sleep(time.Second)}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logRec := &malware.AttackLog{}
+	att := &malware.TransientAttack{Log: logRec, Linger: linger}
+	if _, err := m.Kernel().CreateProcess(att.Spec("attack"), shell); err != nil {
+		t.Fatal(err)
+	}
+	return logRec
+}
+
+func TestPolicyRules(t *testing.T) {
+	p := ped.DefaultPolicy()
+	tests := []struct {
+		name string
+		e    guest.ProcEntry
+		want bool
+	}{
+		{"normal user proc", guest.ProcEntry{PID: 10, Comm: "vim", EUID: 1000, ParentUID: 1000}, false},
+		{"root proc, root parent", guest.ProcEntry{PID: 11, Comm: "cron", EUID: 0, ParentUID: 0}, false},
+		{"escalated under user shell", guest.ProcEntry{PID: 12, Comm: "attack", EUID: 0, ParentUID: 1000}, true},
+		{"whitelisted", guest.ProcEntry{PID: 13, Comm: "sshd", EUID: 0, ParentUID: 1000}, false},
+		{"setuid-style ninja", guest.ProcEntry{PID: 14, Comm: "ninja", EUID: 0, ParentUID: 1000}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.ViolatesEntry(tt.e); got != tt.want {
+				t.Fatalf("ViolatesEntry = %v, want %v", got, tt.want)
+			}
+			st := guest.ProcStat{PID: tt.e.PID, Comm: tt.e.Comm, EUID: tt.e.EUID, ParentUID: tt.e.ParentUID}
+			if got := p.ViolatesStat(st); got != tt.want {
+				t.Fatalf("ViolatesStat = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDetectionString(t *testing.T) {
+	d := ped.Detection{PID: 5, Comm: "x", By: "ht-ninja", Trigger: "io-syscall"}
+	if d.String() == "" {
+		t.Fatal("empty detection string")
+	}
+}
+
+func TestONinjaCatchesPersistentEscalation(t *testing.T) {
+	m, _ := bootVM(t, false)
+	oninja := &ped.ONinja{Policy: ped.DefaultPolicy(), Interval: 100 * time.Millisecond}
+	if _, err := m.Kernel().CreateProcess(oninja.Spec(), nil); err != nil {
+		t.Fatal(err)
+	}
+	logRec := spawnEscalatedUnderShell(t, m, 2*time.Second)
+	m.Run(2 * time.Second)
+	if !logRec.Escalated() {
+		t.Fatal("attack never escalated")
+	}
+	if !oninja.Detected() {
+		t.Fatal("O-Ninja missed a persistent escalation")
+	}
+	if oninja.Scans() == 0 {
+		t.Fatal("no completed scans counted")
+	}
+	d := oninja.Detections()
+	if len(d) == 0 || d[0].Comm != "attack" || d[0].By != "o-ninja" {
+		t.Fatalf("detections = %v", d)
+	}
+}
+
+func TestONinjaKillsWhenAsked(t *testing.T) {
+	m, _ := bootVM(t, false)
+	oninja := &ped.ONinja{Policy: ped.DefaultPolicy(), Interval: 50 * time.Millisecond, Kill: true}
+	if _, err := m.Kernel().CreateProcess(oninja.Spec(), nil); err != nil {
+		t.Fatal(err)
+	}
+	spawnEscalatedUnderShell(t, m, time.Hour)
+	m.Run(2 * time.Second)
+	if !oninja.Detected() {
+		t.Fatal("not detected")
+	}
+	if tasks := m.Kernel().TasksByComm("attack"); len(tasks) != 0 {
+		t.Fatalf("escalated process survived Ninja's kill: %v", tasks)
+	}
+}
+
+func TestONinjaMissesTransient(t *testing.T) {
+	m, _ := bootVM(t, false)
+	oninja := &ped.ONinja{Policy: ped.DefaultPolicy(), Interval: time.Second}
+	if _, err := m.Kernel().CreateProcess(oninja.Spec(), nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1100 * time.Millisecond) // land the attack inside the sleep window
+	logRec := spawnEscalatedUnderShell(t, m, 0)
+	m.Run(3 * time.Second)
+	if !logRec.Acted() {
+		t.Fatal("attack did not act")
+	}
+	if oninja.Detected() {
+		t.Fatal("passive poller detected a transient attack (should miss)")
+	}
+}
+
+func TestHNinjaValidation(t *testing.T) {
+	h := &ped.HNinja{}
+	if err := h.Start(); err == nil {
+		t.Fatal("Start with empty config succeeded")
+	}
+	m, intro := bootVM(t, false)
+	_ = m
+	h = &ped.HNinja{Intro: intro, Clock: m.Clock()}
+	if err := h.Start(); err == nil {
+		t.Fatal("Start without interval succeeded")
+	}
+	h = &ped.HNinja{Intro: intro, Clock: m.Clock(), Interval: time.Millisecond}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err == nil {
+		t.Fatal("double Start succeeded")
+	}
+	h.Stop()
+}
+
+func TestHNinjaCatchesPersistentMissesTransient(t *testing.T) {
+	m, intro := bootVM(t, false)
+	h := &ped.HNinja{Policy: ped.DefaultPolicy(), Intro: intro, Clock: m.Clock(),
+		Interval: 10 * time.Millisecond, Blocking: true}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Persistent: caught.
+	logRec := spawnEscalatedUnderShell(t, m, 500*time.Millisecond)
+	m.Run(time.Second)
+	if !h.Detected() {
+		t.Fatal("H-Ninja missed a persistent escalation")
+	}
+	if !logRec.Escalated() || h.Scans() == 0 {
+		t.Fatal("experiment plumbing broken")
+	}
+
+	// Transient against a slow poller: missed.
+	m2, intro2 := bootVM(t, false)
+	h2 := &ped.HNinja{Policy: ped.DefaultPolicy(), Intro: intro2, Clock: m2.Clock(),
+		Interval: 500 * time.Millisecond, Blocking: true}
+	if err := h2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m2.Run(510 * time.Millisecond) // just after a poll
+	spawnEscalatedUnderShell(t, m2, 0)
+	m2.Run(2 * time.Second)
+	if h2.Detected() {
+		t.Fatal("slow poller detected a transient attack (should miss)")
+	}
+}
+
+func TestHTNinjaValidation(t *testing.T) {
+	if _, err := ped.NewHTNinja(ped.HTNinjaConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestHTNinjaCatchesTransientBeforeAction(t *testing.T) {
+	m, intro := bootVM(t, true)
+	var detections []ped.Detection
+	htn, err := ped.NewHTNinja(ped.HTNinjaConfig{
+		Policy: ped.DefaultPolicy(), View: m, Intro: intro,
+		OnDetect: func(d ped.Detection) { detections = append(detections, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(20 * time.Millisecond)
+	logRec := spawnEscalatedUnderShell(t, m, 0)
+	m.Run(time.Second)
+
+	if !logRec.Acted() {
+		t.Fatal("attack did not act")
+	}
+	if !htn.Detected() {
+		t.Fatal("HT-Ninja missed a transient attack")
+	}
+	if htn.Name() != "ht-ninja" || htn.Checks() == 0 {
+		t.Fatal("identity/stats broken")
+	}
+	if len(detections) != 1 {
+		t.Fatalf("OnDetect fired %d times, want 1 (deduplicated)", len(detections))
+	}
+	// Active monitoring: the detection happened no later than the first
+	// unauthorized I/O completed.
+	if detections[0].At > logRec.ActionAt {
+		t.Fatalf("detected at %v, after the action completed at %v", detections[0].At, logRec.ActionAt)
+	}
+}
+
+func TestHTNinjaUnaffectedByRootkit(t *testing.T) {
+	m, intro := bootVM(t, true)
+	htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(), View: m, Intro: intro})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(20 * time.Millisecond)
+
+	shell, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "bash", UID: 1000,
+		Program: &guest.LoopProgram{Body: []guest.Step{guest.Sleep(time.Second)}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logRec := &malware.AttackLog{}
+	att := &malware.RootkitAttack{
+		Log:         logRec,
+		Rootkit:     &malware.Rootkit{RkName: "phalanx", Techniques: malware.TechKmem | malware.TechDKOM},
+		InstallTime: time.Millisecond,
+	}
+	if _, err := m.Kernel().CreateProcess(att.Spec("attack"), shell); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	if !logRec.Hidden() {
+		t.Fatal("rootkit never hid the attacker")
+	}
+	if !htn.Detected() {
+		t.Fatal("HT-Ninja blinded by a DKOM rootkit (must not happen)")
+	}
+}
+
+func TestHTNinjaNoFalsePositives(t *testing.T) {
+	m, intro := bootVM(t, true)
+	htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(), View: m, Intro: intro})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Benign activity: user processes doing I/O, root daemons, setuid
+	// whitelisted programs.
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "worker", UID: 1000,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.DoSyscall(guest.SysOpen, 1),
+			guest.DoSyscall(guest.SysWrite, 3, 128),
+			guest.DoSyscall(guest.SysClose, 3),
+		}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	root := uint32(0)
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "sshd", UID: 1000, EUID: &root, // setuid whitelisted
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.DoSyscall(guest.SysRead, 0, 64), guest.Sleep(5 * time.Millisecond),
+		}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(500 * time.Millisecond)
+	if htn.Detected() {
+		t.Fatalf("false positives: %v", htn.Detections())
+	}
+}
+
+func TestHNinjaNonBlockingRecheckDetectsPersistent(t *testing.T) {
+	// The non-blocking scan spreads per-entry rechecks over time; a
+	// persistent escalation is still standing when its recheck arrives.
+	m, intro := bootVM(t, false)
+	h := &ped.HNinja{Policy: ped.DefaultPolicy(), Intro: intro, Clock: m.Clock(),
+		Interval: 20 * time.Millisecond, Blocking: false,
+		PerEntryCost: 300 * time.Microsecond}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	logRec := spawnEscalatedUnderShell(t, m, time.Second)
+	m.Run(500 * time.Millisecond)
+	if !logRec.Escalated() {
+		t.Fatal("no escalation")
+	}
+	if !h.Detected() {
+		t.Fatal("non-blocking H-Ninja missed a persistent escalation")
+	}
+	d := h.Detections()
+	if len(d) == 0 || d[0].By != "h-ninja" {
+		t.Fatalf("detections = %v", d)
+	}
+	h.Stop()
+	scans := h.Scans()
+	m.Run(100 * time.Millisecond)
+	if h.Scans() != scans {
+		t.Fatal("poller kept scanning after Stop")
+	}
+}
+
+func TestHTNinjaDetectionsAccessor(t *testing.T) {
+	m, intro := bootVM(t, true)
+	htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(), View: m, Intro: intro})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(20 * time.Millisecond)
+	spawnEscalatedUnderShell(t, m, 100*time.Millisecond)
+	m.Run(500 * time.Millisecond)
+	d := htn.Detections()
+	if len(d) != 1 || d[0].Comm != "attack" {
+		t.Fatalf("detections = %v", d)
+	}
+}

@@ -1,0 +1,317 @@
+// Package syscallpolicy implements the class of security tools the paper's
+// §VII-D says HyperTap can host: system-call interposition (Garfinkel's
+// traps-and-pitfalls lineage, Provos' Systrace-style policies) and
+// intrusion detection via system-call traces (Kosoresow & Hofmeyr).
+//
+// Two auditors are provided on the shared logging channel:
+//
+//   - Enforcer: per-program system-call allow-lists, evaluated synchronously
+//     at the gate, before the call executes (the interposition model).
+//   - TraceAnomaly: per-program n-gram models of system-call sequences,
+//     trained on normal behaviour and alarming on unseen sequences (the
+//     host-based IDS model).
+//
+// Both derive the calling process purely from architectural state via the
+// TR → TSS.RSP0 → thread_info → task_struct chain, so a compromised guest
+// cannot lie about who is making the call.
+package syscallpolicy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+	"hypertap/internal/vmi"
+)
+
+// Violation is one policy breach.
+type Violation struct {
+	PID     int
+	Comm    string
+	Syscall guest.Syscall
+	At      time.Duration
+	// Reason distinguishes allow-list breaches from sequence anomalies.
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("syscallpolicy: pid=%d comm=%q %v at %v (%s)",
+		v.PID, v.Comm, v.Syscall, v.At, v.Reason)
+}
+
+// Ruleset maps program names to their permitted system calls. Programs
+// without an entry are unconstrained (policies are opt-in per program, as
+// in Systrace).
+type Ruleset map[string]map[guest.Syscall]bool
+
+// Allow builds a rule entry.
+func Allow(calls ...guest.Syscall) map[guest.Syscall]bool {
+	m := make(map[guest.Syscall]bool, len(calls))
+	for _, c := range calls {
+		m[c] = true
+	}
+	return m
+}
+
+// Enforcer is the interposition auditor: registered synchronously, its
+// verdicts land before the audited call's effects.
+type Enforcer struct {
+	view  core.GuestView
+	intro *vmi.Introspector
+	rules Ruleset
+	// onViolation runs synchronously per violation (kill, pause, log).
+	onViolation func(Violation)
+
+	mu         sync.Mutex
+	violations []Violation
+	checked    uint64
+}
+
+// EnforcerConfig assembles an Enforcer.
+type EnforcerConfig struct {
+	View        core.GuestView
+	Intro       *vmi.Introspector
+	Rules       Ruleset
+	OnViolation func(Violation)
+}
+
+// NewEnforcer builds the auditor.
+func NewEnforcer(cfg EnforcerConfig) (*Enforcer, error) {
+	if cfg.View == nil || cfg.Intro == nil {
+		return nil, fmt.Errorf("syscallpolicy: EnforcerConfig requires View and Intro")
+	}
+	if len(cfg.Rules) == 0 {
+		return nil, fmt.Errorf("syscallpolicy: empty ruleset")
+	}
+	return &Enforcer{
+		view:        cfg.View,
+		intro:       cfg.Intro,
+		rules:       cfg.Rules,
+		onViolation: cfg.OnViolation,
+	}, nil
+}
+
+var _ core.Auditor = (*Enforcer)(nil)
+
+// Name implements core.Auditor.
+func (e *Enforcer) Name() string { return "syscall-enforcer" }
+
+// Mask implements core.Auditor.
+func (e *Enforcer) Mask() core.EventMask { return core.MaskOf(core.EvSyscall) }
+
+// HandleEvent implements core.Auditor.
+func (e *Enforcer) HandleEvent(ev *core.Event) {
+	entry, ok := deriveCaller(e.view, e.intro, ev)
+	if !ok {
+		return
+	}
+	allowed, constrained := e.rules[entry.Comm]
+	e.mu.Lock()
+	e.checked++
+	e.mu.Unlock()
+	if !constrained {
+		return
+	}
+	nr := guest.Syscall(ev.SyscallNr)
+	if allowed[nr] {
+		return
+	}
+	v := Violation{PID: entry.PID, Comm: entry.Comm, Syscall: nr, At: ev.Time, Reason: "not in allow-list"}
+	e.mu.Lock()
+	e.violations = append(e.violations, v)
+	cb := e.onViolation
+	e.mu.Unlock()
+	if cb != nil {
+		cb(v)
+	}
+}
+
+// Violations snapshots the breaches.
+func (e *Enforcer) Violations() []Violation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Violation, len(e.violations))
+	copy(out, e.violations)
+	return out
+}
+
+// Checked returns how many calls were evaluated.
+func (e *Enforcer) Checked() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checked
+}
+
+// deriveCaller resolves the process behind a syscall event from hardware
+// state only.
+func deriveCaller(view core.GuestView, intro *vmi.Introspector, ev *core.Event) (guest.ProcEntry, bool) {
+	cr3 := ev.Regs.CR3
+	if cr3 == 0 || ev.Regs.TR == 0 {
+		return guest.ProcEntry{}, false
+	}
+	rsp0, err := view.ReadU64GVA(cr3, ev.Regs.TR+arch.TSSOffRSP0)
+	if err != nil {
+		return guest.ProcEntry{}, false
+	}
+	entry, err := intro.DeriveTaskFromRSP0(cr3, arch.GVA(rsp0))
+	if err != nil {
+		return guest.ProcEntry{}, false
+	}
+	return entry, true
+}
+
+// TraceAnomaly is the syscall-sequence IDS: it models each program's normal
+// behaviour as the set of n-grams of its system-call trace (per process,
+// per comm), then alarms on n-grams never seen during training.
+type TraceAnomaly struct {
+	view  core.GuestView
+	intro *vmi.Introspector
+	n     int
+
+	mu sync.Mutex
+	// training toggles learn vs detect.
+	training bool
+	// model maps comm -> seen n-grams.
+	model map[string]map[gram]bool
+	// window holds the per-pid rolling syscall window.
+	window map[int][]guest.Syscall
+	// commOf remembers each pid's program.
+	commOf     map[int]string
+	anomalies  []Violation
+	trainCount uint64
+}
+
+// gram is a fixed-size syscall n-gram (n <= 4).
+type gram [4]guest.Syscall
+
+// NewTraceAnomaly builds the IDS with n-gram length n (2..4).
+func NewTraceAnomaly(view core.GuestView, intro *vmi.Introspector, n int) (*TraceAnomaly, error) {
+	if view == nil || intro == nil {
+		return nil, fmt.Errorf("syscallpolicy: TraceAnomaly requires View and Intro")
+	}
+	if n < 2 || n > 4 {
+		return nil, fmt.Errorf("syscallpolicy: n-gram length %d outside [2,4]", n)
+	}
+	return &TraceAnomaly{
+		view: view, intro: intro, n: n,
+		training: true,
+		model:    make(map[string]map[gram]bool),
+		window:   make(map[int][]guest.Syscall),
+		commOf:   make(map[int]string),
+	}, nil
+}
+
+var _ core.Auditor = (*TraceAnomaly)(nil)
+
+// Name implements core.Auditor.
+func (t *TraceAnomaly) Name() string { return "syscall-trace-ids" }
+
+// Mask implements core.Auditor.
+func (t *TraceAnomaly) Mask() core.EventMask { return core.MaskOf(core.EvSyscall) }
+
+// EndTraining freezes the model and starts detecting.
+func (t *TraceAnomaly) EndTraining() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.training = false
+	t.window = make(map[int][]guest.Syscall)
+}
+
+// Training reports the current mode.
+func (t *TraceAnomaly) Training() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.training
+}
+
+// HandleEvent implements core.Auditor.
+func (t *TraceAnomaly) HandleEvent(ev *core.Event) {
+	entry, ok := deriveCaller(t.view, t.intro, ev)
+	if !ok {
+		return
+	}
+	nr := guest.Syscall(ev.SyscallNr)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.commOf[entry.PID] = entry.Comm
+	w := append(t.window[entry.PID], nr)
+	if len(w) > t.n {
+		w = w[len(w)-t.n:]
+	}
+	t.window[entry.PID] = w
+	if len(w) < t.n {
+		return
+	}
+	var g gram
+	copy(g[:], w)
+
+	if t.training {
+		m := t.model[entry.Comm]
+		if m == nil {
+			m = make(map[gram]bool)
+			t.model[entry.Comm] = m
+		}
+		m[g] = true
+		t.trainCount++
+		return
+	}
+	m, known := t.model[entry.Comm]
+	if !known {
+		// Unknown program: no baseline, stay silent (policy choice
+		// matching the per-program opt-in of the literature).
+		return
+	}
+	if !m[g] {
+		t.anomalies = append(t.anomalies, Violation{
+			PID: entry.PID, Comm: entry.Comm, Syscall: nr, At: ev.Time,
+			Reason: fmt.Sprintf("novel %d-gram %v", t.n, formatGram(g, t.n)),
+		})
+	}
+}
+
+// Anomalies snapshots detected sequence anomalies.
+func (t *TraceAnomaly) Anomalies() []Violation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Violation, len(t.anomalies))
+	copy(out, t.anomalies)
+	return out
+}
+
+// ModelSize returns (programs, total n-grams) of the trained model.
+func (t *TraceAnomaly) ModelSize() (programs, grams int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, m := range t.model {
+		grams += len(m)
+	}
+	return len(t.model), grams
+}
+
+// Programs lists modeled program names.
+func (t *TraceAnomaly) Programs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.model))
+	for comm := range t.model {
+		out = append(out, comm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func formatGram(g gram, n int) string {
+	s := "["
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += g[i].String()
+	}
+	return s + "]"
+}

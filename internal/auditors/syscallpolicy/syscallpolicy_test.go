@@ -1,0 +1,228 @@
+package syscallpolicy_test
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/auditors/syscallpolicy"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/vmi"
+)
+
+func bootVM(t *testing.T) (*hv.Machine, *vmi.Introspector) {
+	t.Helper()
+	m, err := hv.New(hv.Config{VCPUs: 2, MemBytes: 64 << 20, Guest: guest.Config{Seed: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EnableMonitoring(intercept.Features{
+		ProcessSwitch: true, ThreadSwitch: true, Syscalls: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return m, vmi.New(m, m.Kernel().Symbols())
+}
+
+func TestEnforcerValidation(t *testing.T) {
+	if _, err := syscallpolicy.NewEnforcer(syscallpolicy.EnforcerConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	m, intro := bootVM(t)
+	if _, err := syscallpolicy.NewEnforcer(syscallpolicy.EnforcerConfig{View: m, Intro: intro}); err == nil {
+		t.Fatal("empty ruleset accepted")
+	}
+}
+
+func TestEnforcerAllowsPermittedCalls(t *testing.T) {
+	m, intro := bootVM(t)
+	rules := syscallpolicy.Ruleset{
+		"webworker": syscallpolicy.Allow(
+			guest.SysRead, guest.SysWrite, guest.SysOpen, guest.SysClose, guest.SysGetPID,
+		),
+	}
+	enf, err := syscallpolicy.NewEnforcer(syscallpolicy.EnforcerConfig{View: m, Intro: intro, Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(enf, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "webworker", UID: 1000,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.DoSyscall(guest.SysOpen, 1),
+			guest.DoSyscall(guest.SysRead, 3, 512),
+			guest.DoSyscall(guest.SysClose, 3),
+		}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100 * time.Millisecond)
+	if got := enf.Violations(); len(got) != 0 {
+		t.Fatalf("false positives: %v", got)
+	}
+	if enf.Checked() == 0 {
+		t.Fatal("no calls checked")
+	}
+	if enf.Name() == "" || !enf.Mask().Has(core.EvSyscall) {
+		t.Fatal("identity broken")
+	}
+}
+
+func TestEnforcerFlagsForbiddenCall(t *testing.T) {
+	m, intro := bootVM(t)
+	rules := syscallpolicy.Ruleset{
+		"webworker": syscallpolicy.Allow(guest.SysRead, guest.SysWrite),
+	}
+	var flagged []syscallpolicy.Violation
+	enf, err := syscallpolicy.NewEnforcer(syscallpolicy.EnforcerConfig{
+		View: m, Intro: intro, Rules: rules,
+		OnViolation: func(v syscallpolicy.Violation) { flagged = append(flagged, v) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(enf, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The compromised worker suddenly spawns a process (classic shellcode
+	// behaviour a syscall policy exists to stop).
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "webworker", UID: 1000,
+		Program: guest.NewStepList(
+			guest.DoSyscall(guest.SysRead, 0, 64),
+			guest.Spawn(&guest.ProcSpec{Comm: "shell", UID: 1000,
+				Program: guest.NewStepList(guest.Compute(time.Millisecond))}),
+		),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100 * time.Millisecond)
+	if len(flagged) == 0 {
+		t.Fatal("forbidden spawn not flagged")
+	}
+	v := flagged[0]
+	if v.Comm != "webworker" || v.Syscall != guest.SysSpawn {
+		t.Fatalf("violation = %v", v)
+	}
+	if v.String() == "" {
+		t.Fatal("empty violation string")
+	}
+	// Unconstrained programs stay free.
+	for _, got := range enf.Violations() {
+		if got.Comm != "webworker" {
+			t.Fatalf("unconstrained program flagged: %v", got)
+		}
+	}
+}
+
+func TestTraceAnomalyValidation(t *testing.T) {
+	m, intro := bootVM(t)
+	if _, err := syscallpolicy.NewTraceAnomaly(nil, nil, 3); err == nil {
+		t.Fatal("nil deps accepted")
+	}
+	if _, err := syscallpolicy.NewTraceAnomaly(m, intro, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := syscallpolicy.NewTraceAnomaly(m, intro, 5); err == nil {
+		t.Fatal("n=5 accepted")
+	}
+}
+
+func TestTraceAnomalyLearnsAndDetects(t *testing.T) {
+	m, intro := bootVM(t)
+	ids, err := syscallpolicy.NewTraceAnomaly(m, intro, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(ids, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Normal behaviour: the daemon loops open→read→close→log.
+	normal := []guest.Step{
+		guest.DoSyscall(guest.SysOpen, 1),
+		guest.DoSyscall(guest.SysRead, 3, 128),
+		guest.DoSyscall(guest.SysClose, 3),
+		guest.DoSyscall(guest.SysLog, 1),
+	}
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "daemon", UID: 2,
+		Program: &guest.LoopProgram{Body: normal},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(300 * time.Millisecond)
+	if !ids.Training() {
+		t.Fatal("left training unexpectedly")
+	}
+	ids.EndTraining()
+	if ids.Training() {
+		t.Fatal("still training after EndTraining")
+	}
+	programs, grams := ids.ModelSize()
+	if programs == 0 || grams == 0 {
+		t.Fatalf("empty model: %d programs, %d grams", programs, grams)
+	}
+	found := false
+	for _, p := range ids.Programs() {
+		if p == "daemon" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("daemon not in the model")
+	}
+
+	// Normal traffic after training: quiet.
+	m.Run(200 * time.Millisecond)
+	if got := ids.Anomalies(); len(got) != 0 {
+		t.Fatalf("false positives on trained behaviour: %v", got)
+	}
+
+	// A hijacked daemon deviates: it starts killing processes.
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "daemon", UID: 2,
+		Program: guest.NewStepList(
+			guest.DoSyscall(guest.SysOpen, 1),
+			guest.DoSyscall(guest.SysKill, 99999),
+			guest.DoSyscall(guest.SysSetUID, 0),
+		),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(200 * time.Millisecond)
+	if got := ids.Anomalies(); len(got) == 0 {
+		t.Fatal("hijacked sequence not flagged")
+	} else if got[0].Comm != "daemon" {
+		t.Fatalf("anomaly names %q", got[0].Comm)
+	}
+}
+
+func TestTraceAnomalyUnknownProgramsSilent(t *testing.T) {
+	m, intro := bootVM(t)
+	ids, err := syscallpolicy.NewTraceAnomaly(m, intro, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(ids, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	ids.EndTraining() // empty model
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "novel", UID: 3,
+		Program: &guest.LoopProgram{Body: []guest.Step{guest.DoSyscall(guest.SysGetPID)}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100 * time.Millisecond)
+	if got := ids.Anomalies(); len(got) != 0 {
+		t.Fatalf("unmodeled program flagged: %v", got)
+	}
+}

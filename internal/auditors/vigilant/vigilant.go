@@ -1,0 +1,251 @@
+// Package vigilant implements the out-of-band, learning-based failure
+// detector the paper's related work discusses (Pelleg et al., "Vigilant:
+// out-of-band detection of failures in virtual machines") — the class of
+// monitor §VII-D says "can benefit greatly from HyperTap's common logging
+// infrastructure and the counters it provides".
+//
+// The detector builds per-window feature vectors from the shared event
+// stream (rates of context switches, syscalls, interrupts, I/O per vCPU),
+// learns their normal range over a training period, and flags windows whose
+// features leave the learned envelope. Unlike GOSHD's crisp invariant, this
+// is a statistical monitor: it needs no threshold calibration, catches
+// "sick but not hung" states (syscall storms, schedule starvation), and
+// demonstrates that one logging channel feeds qualitatively different
+// auditing styles.
+package vigilant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/vclock"
+)
+
+// featureCount is the per-vCPU feature vector width.
+const featureCount = 4
+
+// feature indexes.
+const (
+	featSwitches = iota
+	featSyscalls
+	featInterrupts
+	featIO
+)
+
+var featureNames = [featureCount]string{"switches", "syscalls", "interrupts", "io"}
+
+// Anomaly is one flagged window.
+type Anomaly struct {
+	VCPU int
+	At   time.Duration
+	// Feature names the most deviant feature.
+	Feature string
+	// Value and Mean describe the deviation (per-window counts).
+	Value float64
+	Mean  float64
+	// Sigma is the deviation in standard deviations.
+	Sigma float64
+}
+
+func (a Anomaly) String() string {
+	return fmt.Sprintf("vigilant: vcpu%d %s=%0.f (mean %.1f, %+.1fσ) at %v",
+		a.VCPU, a.Feature, a.Value, a.Mean, a.Sigma, a.At)
+}
+
+// Config assembles a detector.
+type Config struct {
+	// Clock drives the windowing.
+	Clock *vclock.Clock
+	// VCPUs is the monitored vCPU count.
+	VCPUs int
+	// Window is the feature-aggregation period. Default 250ms.
+	Window time.Duration
+	// TrainWindows is how many windows to learn from before detecting.
+	// Default 40.
+	TrainWindows int
+	// Threshold is the anomaly threshold in standard deviations.
+	// Default 6 (conservative: this detector flags gross deviations).
+	Threshold float64
+	// OnAnomaly runs per flagged window.
+	OnAnomaly func(Anomaly)
+}
+
+// Detector is the learning-based auditor.
+type Detector struct {
+	cfg Config
+
+	mu sync.Mutex
+	// current accumulates this window's counts.
+	current [][featureCount]float64
+	// sums and sqsums accumulate training statistics.
+	sums    [][featureCount]float64
+	sqsums  [][featureCount]float64
+	trained int
+	// detecting toggles after training.
+	detecting bool
+	anomalies []Anomaly
+	windows   uint64
+	started   bool
+}
+
+// New builds the detector; Start arms the window timer.
+func New(cfg Config) (*Detector, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("vigilant: Config.Clock is required")
+	}
+	if cfg.VCPUs <= 0 {
+		return nil, fmt.Errorf("vigilant: Config.VCPUs must be positive")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 250 * time.Millisecond
+	}
+	if cfg.TrainWindows == 0 {
+		cfg.TrainWindows = 40
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 6
+	}
+	return &Detector{
+		cfg:     cfg,
+		current: make([][featureCount]float64, cfg.VCPUs),
+		sums:    make([][featureCount]float64, cfg.VCPUs),
+		sqsums:  make([][featureCount]float64, cfg.VCPUs),
+	}, nil
+}
+
+var _ core.Auditor = (*Detector)(nil)
+
+// Name implements core.Auditor.
+func (d *Detector) Name() string { return "vigilant" }
+
+// Mask implements core.Auditor: everything countable.
+func (d *Detector) Mask() core.EventMask {
+	return core.MaskOf(core.EvThreadSwitch, core.EvProcessSwitch, core.EvSyscall,
+		core.EvInterrupt, core.EvIOPort, core.EvMMIO)
+}
+
+// Start arms the windowing timer.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		return
+	}
+	d.started = true
+	d.cfg.Clock.AfterFunc(d.cfg.Window, d.onWindow)
+}
+
+// HandleEvent implements core.Auditor.
+func (d *Detector) HandleEvent(ev *core.Event) {
+	if ev.VCPU < 0 || ev.VCPU >= len(d.current) {
+		return
+	}
+	var idx int
+	switch ev.Type {
+	case core.EvThreadSwitch, core.EvProcessSwitch:
+		idx = featSwitches
+	case core.EvSyscall:
+		idx = featSyscalls
+	case core.EvInterrupt:
+		idx = featInterrupts
+	case core.EvIOPort, core.EvMMIO:
+		idx = featIO
+	default:
+		return
+	}
+	d.mu.Lock()
+	d.current[ev.VCPU][idx]++
+	d.mu.Unlock()
+}
+
+// onWindow closes a window: train on it or score it.
+func (d *Detector) onWindow(now time.Duration) {
+	d.mu.Lock()
+	d.windows++
+	var fired []Anomaly
+	for cpu := range d.current {
+		vec := d.current[cpu]
+		d.current[cpu] = [featureCount]float64{}
+		if !d.detecting {
+			for f := 0; f < featureCount; f++ {
+				d.sums[cpu][f] += vec[f]
+				d.sqsums[cpu][f] += vec[f] * vec[f]
+			}
+			continue
+		}
+		n := float64(d.trained)
+		for f := 0; f < featureCount; f++ {
+			mean := d.sums[cpu][f] / n
+			variance := d.sqsums[cpu][f]/n - mean*mean
+			sd := math.Sqrt(math.Max(variance, 1)) // floor: count noise
+			sigma := (vec[f] - mean) / sd
+			if math.Abs(sigma) >= d.cfg.Threshold {
+				fired = append(fired, Anomaly{
+					VCPU: cpu, At: now, Feature: featureNames[f],
+					Value: vec[f], Mean: mean, Sigma: sigma,
+				})
+			}
+		}
+	}
+	if !d.detecting {
+		d.trained++
+		if d.trained >= d.cfg.TrainWindows {
+			d.detecting = true
+		}
+	}
+	d.anomalies = append(d.anomalies, fired...)
+	cb := d.cfg.OnAnomaly
+	started := d.started
+	d.mu.Unlock()
+
+	if cb != nil {
+		for _, a := range fired {
+			cb(a)
+		}
+	}
+	if started {
+		d.cfg.Clock.AfterFunc(d.cfg.Window, d.onWindow)
+	}
+}
+
+// Detecting reports whether training completed.
+func (d *Detector) Detecting() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.detecting
+}
+
+// Anomalies snapshots flagged windows.
+func (d *Detector) Anomalies() []Anomaly {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Anomaly, len(d.anomalies))
+	copy(out, d.anomalies)
+	return out
+}
+
+// Windows returns the number of closed windows.
+func (d *Detector) Windows() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.windows
+}
+
+// Baseline returns the learned mean for a feature on a vCPU (testing and
+// introspection).
+func (d *Detector) Baseline(vcpu int, feature string) (mean float64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.detecting || vcpu < 0 || vcpu >= len(d.sums) {
+		return 0, false
+	}
+	for f, name := range featureNames {
+		if name == feature {
+			return d.sums[vcpu][f] / float64(d.trained), true
+		}
+	}
+	return 0, false
+}

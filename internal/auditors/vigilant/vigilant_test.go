@@ -1,0 +1,162 @@
+package vigilant_test
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/auditors/vigilant"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/vclock"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := vigilant.New(vigilant.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := vigilant.New(vigilant.Config{Clock: &vclock.Clock{}}); err == nil {
+		t.Fatal("zero vcpus accepted")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	d, err := vigilant.New(vigilant.Config{Clock: &vclock.Clock{}, VCPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "vigilant" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	for _, ty := range []core.EventType{core.EvSyscall, core.EvThreadSwitch, core.EvInterrupt} {
+		if !d.Mask().Has(ty) {
+			t.Errorf("mask missing %v", ty)
+		}
+	}
+}
+
+// synthetic drives the detector with hand-built event streams on a bare
+// clock — no VM needed.
+func synthetic(t *testing.T, trainRate, testRate int, windows int) *vigilant.Detector {
+	t.Helper()
+	clock := &vclock.Clock{}
+	d, err := vigilant.New(vigilant.Config{
+		Clock: clock, VCPUs: 1,
+		Window:       100 * time.Millisecond,
+		TrainWindows: 20,
+		Threshold:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	feed := func(rate int) {
+		for i := 0; i < rate; i++ {
+			d.HandleEvent(&core.Event{Type: core.EvSyscall, VCPU: 0})
+		}
+		clock.Advance(100 * time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		feed(trainRate)
+	}
+	if !d.Detecting() {
+		t.Fatal("not detecting after the training windows")
+	}
+	for i := 0; i < windows; i++ {
+		feed(testRate)
+	}
+	return d
+}
+
+func TestQuietOnStableRates(t *testing.T) {
+	d := synthetic(t, 50, 50, 10)
+	if got := d.Anomalies(); len(got) != 0 {
+		t.Fatalf("false positives on stable traffic: %v", got)
+	}
+	mean, ok := d.Baseline(0, "syscalls")
+	if !ok || mean != 50 {
+		t.Fatalf("baseline = %v,%v want 50,true", mean, ok)
+	}
+}
+
+func TestFlagsSyscallStorm(t *testing.T) {
+	d := synthetic(t, 50, 900, 3)
+	got := d.Anomalies()
+	if len(got) == 0 {
+		t.Fatal("syscall storm not flagged")
+	}
+	a := got[0]
+	if a.Feature != "syscalls" || a.Sigma < 6 {
+		t.Fatalf("anomaly = %v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty anomaly string")
+	}
+}
+
+func TestFlagsSilence(t *testing.T) {
+	// Rates collapsing to zero (a sick-but-not-hung guest) must also flag
+	// once the baseline is well above the count-noise floor.
+	d := synthetic(t, 400, 0, 3)
+	if len(d.Anomalies()) == 0 {
+		t.Fatal("silent guest not flagged")
+	}
+}
+
+func TestEndToEndWithGuest(t *testing.T) {
+	m, err := hv.New(hv.Config{VCPUs: 2, MemBytes: 64 << 20, Guest: guest.Config{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EnableMonitoring(intercept.Features{
+		ProcessSwitch: true, ThreadSwitch: true, Syscalls: true, IO: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	det, err := vigilant.New(vigilant.Config{
+		Clock: m.Clock(), VCPUs: 2,
+		Window: 100 * time.Millisecond, TrainWindows: 15, Threshold: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().Register(det, core.DeliverAsync, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	det.Start()
+
+	// Steady workload through training and a quiet validation period.
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "steady", UID: 1, Pinned: true, CPUAffinity: 0,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.DoSyscall(guest.SysWrite, 1, 64),
+			guest.Compute(500 * time.Microsecond),
+		}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * time.Second)
+	if !det.Detecting() {
+		t.Fatal("training never completed")
+	}
+	baseline := len(det.Anomalies())
+
+	// A syscall storm erupts.
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "storm", UID: 1, Pinned: true, CPUAffinity: 0,
+		Program: &guest.LoopProgram{Body: []guest.Step{guest.DoSyscall(guest.SysGetPID)}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(time.Second)
+	if len(det.Anomalies()) <= baseline {
+		t.Fatal("in-guest syscall storm not flagged")
+	}
+	if det.Windows() == 0 {
+		t.Fatal("no windows closed")
+	}
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMaskOfAndHas(t *testing.T) {
+	m := MaskOf(EvSyscall, EvProcessSwitch)
+	if !m.Has(EvSyscall) || !m.Has(EvProcessSwitch) {
+		t.Fatal("mask missing selected types")
+	}
+	if m.Has(EvThreadSwitch) {
+		t.Fatal("mask has unselected type")
+	}
+	for _, ty := range AllEventTypes() {
+		if !MaskAll.Has(ty) {
+			t.Fatalf("MaskAll missing %v", ty)
+		}
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if s := MaskOf(EvSyscall).String(); s != "syscall" {
+		t.Fatalf("mask string = %q", s)
+	}
+	if EventType(99).String() == "" {
+		t.Fatal("unknown event type empty string")
+	}
+	for _, ty := range AllEventTypes() {
+		if ty.String() == "" {
+			t.Fatalf("event type %d empty string", ty)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	events := []Event{
+		{Type: EvProcessSwitch, PDBA: 0x1000},
+		{Type: EvThreadSwitch, RSP0: 0x8000},
+		{Type: EvSyscall, SyscallNr: 4},
+		{Type: EvHalt},
+	}
+	for _, ev := range events {
+		if ev.String() == "" {
+			t.Fatalf("empty String for %v", ev.Type)
+		}
+	}
+}
+
+func collector(name string, mask EventMask) (*AuditorFunc, *[]Event) {
+	var got []Event
+	a := &AuditorFunc{AuditorName: name, EventMask: mask, Fn: func(ev *Event) {
+		got = append(got, *ev)
+	}}
+	return a, &got
+}
+
+func TestRegisterValidation(t *testing.T) {
+	em := NewMultiplexer()
+	if err := em.Register(nil, DeliverSync, 0); err == nil {
+		t.Error("nil auditor accepted")
+	}
+	a, _ := collector("a", MaskAll)
+	if err := em.Register(a, DeliveryMode(9), 0); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := em.Register(a, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Register(a, DeliverSync, 0); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestSyncDeliveryRespectsMask(t *testing.T) {
+	em := NewMultiplexer()
+	sysOnly, sysGot := collector("sys", MaskOf(EvSyscall))
+	all, allGot := collector("all", MaskAll)
+	if err := em.Register(sysOnly, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Register(all, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	em.Publish(&Event{Type: EvSyscall, SyscallNr: 3})
+	em.Publish(&Event{Type: EvProcessSwitch, PDBA: 7})
+
+	if len(*sysGot) != 1 || (*sysGot)[0].SyscallNr != 3 {
+		t.Fatalf("sys auditor got %v", *sysGot)
+	}
+	if len(*allGot) != 2 {
+		t.Fatalf("all auditor got %d events, want 2", len(*allGot))
+	}
+	stats := em.Stats()
+	if stats[0].Delivered != 1 || stats[1].Delivered != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestAsyncQueueAndDispatch(t *testing.T) {
+	em := NewMultiplexer()
+	a, got := collector("async", MaskAll)
+	if err := em.Register(a, DeliverAsync, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		em.Publish(&Event{Type: EvSyscall, SyscallNr: uint32(i)})
+	}
+	if len(*got) != 0 {
+		t.Fatal("async events delivered before Dispatch")
+	}
+	if n := em.Dispatch(0); n != 5 {
+		t.Fatalf("Dispatch delivered %d, want 5", n)
+	}
+	for i, ev := range *got {
+		if ev.SyscallNr != uint32(i) {
+			t.Fatalf("events out of order: %v", *got)
+		}
+	}
+	if n := em.Dispatch(0); n != 0 {
+		t.Fatalf("second Dispatch delivered %d, want 0", n)
+	}
+}
+
+func TestAsyncDispatchBounded(t *testing.T) {
+	em := NewMultiplexer()
+	a, got := collector("async", MaskAll)
+	if err := em.Register(a, DeliverAsync, 16); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		em.Publish(&Event{Type: EvHalt})
+	}
+	if n := em.Dispatch(3); n != 3 {
+		t.Fatalf("bounded Dispatch = %d, want 3", n)
+	}
+	if len(*got) != 3 {
+		t.Fatalf("delivered = %d, want 3", len(*got))
+	}
+}
+
+func TestAsyncOverflowDrops(t *testing.T) {
+	em := NewMultiplexer()
+	a, _ := collector("slow", MaskAll)
+	if err := em.Register(a, DeliverAsync, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	st := em.Stats()[0]
+	if st.Queued != 4 || st.Dropped != 6 {
+		t.Fatalf("queued/dropped = %d/%d, want 4/6", st.Queued, st.Dropped)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	em := NewMultiplexer()
+	a, got := collector("a", MaskAll)
+	if err := em.Register(a, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !em.Unregister(a) {
+		t.Fatal("Unregister returned false")
+	}
+	if em.Unregister(a) {
+		t.Fatal("double Unregister returned true")
+	}
+	em.Publish(&Event{Type: EvHalt})
+	if len(*got) != 0 {
+		t.Fatal("unregistered auditor received event")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	em := NewMultiplexer()
+	var sampled []uint64
+	em.SetSampler(3, func(ev *Event) { sampled = append(sampled, ev.Seq) })
+	for i := 1; i <= 10; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	if len(sampled) != 3 { // events 3, 6, 9
+		t.Fatalf("sampled %d events, want 3: %v", len(sampled), sampled)
+	}
+	if em.Published() != 10 {
+		t.Fatalf("published = %d, want 10", em.Published())
+	}
+}
+
+func TestSyncAuditorMayCallEM(t *testing.T) {
+	// A sync auditor calling back into the EM (e.g. Stats) must not
+	// deadlock: delivery happens outside the EM lock.
+	em := NewMultiplexer()
+	var reentered bool
+	a := &AuditorFunc{AuditorName: "reentrant", EventMask: MaskAll, Fn: func(ev *Event) {
+		_ = em.Stats()
+		reentered = true
+	}}
+	if err := em.Register(a, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	em.Publish(&Event{Type: EvHalt})
+	if !reentered {
+		t.Fatal("auditor did not run")
+	}
+}
+
+// Property: every published event is either delivered, queued or dropped for
+// each matching subscription — never lost silently.
+func TestPropertyDeliveryAccounting(t *testing.T) {
+	f := func(nEvents uint8, capSmall uint8) bool {
+		em := NewMultiplexer()
+		a, _ := collector("a", MaskAll)
+		qcap := int(capSmall%16) + 1
+		if err := em.Register(a, DeliverAsync, qcap); err != nil {
+			return false
+		}
+		n := int(nEvents % 64)
+		for i := 0; i < n; i++ {
+			em.Publish(&Event{Type: EvHalt})
+		}
+		st := em.Stats()[0]
+		if int(st.Queued+st.Dropped) != n {
+			return false
+		}
+		em.Dispatch(0)
+		st = em.Stats()[0]
+		return int(st.Delivered) == int(st.Queued)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveryModeString(t *testing.T) {
+	for _, m := range []DeliveryMode{DeliverSync, DeliverAsync, DeliveryMode(9)} {
+		if m.String() == "" {
+			t.Fatal("empty DeliveryMode string")
+		}
+	}
+}
+
+func TestRHCEndToEnd(t *testing.T) {
+	srv, err := NewRHCServer("127.0.0.1:0", 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	client, err := DialRHC("vm0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	// Wire the client as the EM sampler and publish a stream.
+	em := NewMultiplexer()
+	em.SetSampler(2, client.Send)
+	for i := 1; i <= 20; i++ {
+		em.Publish(&Event{Type: EvSyscall, Seq: uint64(i), Time: time.Duration(i) * time.Millisecond})
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Received() < 10 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Received(); got != 10 {
+		t.Fatalf("RHC received %d heartbeats, want 10", got)
+	}
+	hb, ok := srv.LastHeartbeat("vm0")
+	if !ok || hb.Seq != 20 {
+		t.Fatalf("last heartbeat = %+v, ok=%v", hb, ok)
+	}
+	if client.Sent() != 10 {
+		t.Fatalf("client sent = %d, want 10", client.Sent())
+	}
+
+	// Silence: the watchdog must raise an alert.
+	select {
+	case alert := <-srv.Alerts():
+		if alert.VM != "vm0" {
+			t.Fatalf("alert for %q, want vm0", alert.VM)
+		}
+		if alert.Silence < 80*time.Millisecond {
+			t.Fatalf("alert silence %v below threshold", alert.Silence)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no RHC alert after heartbeats stopped")
+	}
+}
+
+func TestRHCServerValidation(t *testing.T) {
+	if _, err := NewRHCServer("127.0.0.1:0", 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+}
+
+func TestRHCMalformedLinesTolerated(t *testing.T) {
+	srv, err := NewRHCServer("127.0.0.1:0", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := DialRHC("vm0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	// Raw garbage followed by a valid heartbeat.
+	if _, err := fmt.Fprintf(clientConn(client), "not a heartbeat\nvm0 nan 5\n"); err != nil {
+		t.Fatal(err)
+	}
+	client.Send(&Event{Seq: 1, Time: time.Millisecond})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Received() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Received() != 1 {
+		t.Fatalf("received = %d, want 1 (garbage ignored)", srv.Received())
+	}
+}
+
+// clientConn exposes the client's connection for fault injection in tests.
+func clientConn(c *RHCClient) interface{ Write([]byte) (int, error) } {
+	return c.conn
+}
+
+func TestParseHeartbeat(t *testing.T) {
+	tests := []struct {
+		line    string
+		wantErr bool
+	}{
+		{"vm0 12 5000", false},
+		{"vm0 12", true},
+		{"vm0 x 5000", true},
+		{"vm0 12 y", true},
+		{"", true},
+	}
+	for _, tt := range tests {
+		_, err := parseHeartbeat(tt.line)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseHeartbeat(%q) err = %v, wantErr %v", tt.line, err, tt.wantErr)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Auditor is the auditing-phase interface: a monitor that enforces one RnS
+// policy over the shared event stream. Auditors register with the Event
+// Multiplexer for the event types they need; HandleEvent must treat the
+// event as read-only (it may be shared with other auditors).
+type Auditor interface {
+	// Name identifies the auditor in statistics and alerts.
+	Name() string
+	// Mask selects the event types delivered to this auditor.
+	Mask() EventMask
+	// HandleEvent processes one event.
+	HandleEvent(ev *Event)
+}
+
+// DeliveryMode selects when an auditor runs relative to the suspended vCPU.
+type DeliveryMode uint8
+
+// Delivery modes.
+const (
+	// DeliverSync runs the auditor inside the VM Exit, before the guest
+	// resumes — the blocking mode that lets a policy check *precede* the
+	// audited operation (HT-Ninja's property).
+	DeliverSync DeliveryMode = iota + 1
+	// DeliverAsync queues the event; the auditing container drains it in
+	// parallel with guest execution (the paper's default, minimizing
+	// overhead).
+	DeliverAsync
+)
+
+func (m DeliveryMode) String() string {
+	switch m {
+	case DeliverSync:
+		return "sync"
+	case DeliverAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("DeliveryMode(%d)", uint8(m))
+	}
+}
+
+// SubscriptionStats reports per-auditor delivery accounting.
+type SubscriptionStats struct {
+	Auditor   string
+	Mode      DeliveryMode
+	Delivered uint64
+	Queued    uint64
+	Dropped   uint64
+}
+
+// subscription is one auditor's registration.
+type subscription struct {
+	auditor Auditor
+	mode    DeliveryMode
+	mask    EventMask
+
+	// ring is the bounded event queue for async delivery. Events are
+	// copied in, so auditors never alias the forwarder's buffer.
+	ring  []Event
+	head  int
+	count int
+
+	delivered uint64
+	queued    uint64
+	dropped   uint64
+}
+
+// Multiplexer is HyperTap's Event Multiplexer (EM): it receives every logged
+// event from the Event Forwarder exactly once and fans it out to the
+// registered auditors, implementing the "unified logging" the paper argues
+// for — one capture, many policies.
+//
+// Multiplexer is safe for concurrent use: the simulator publishes from its
+// single thread while auditing containers may drain asynchronously.
+type Multiplexer struct {
+	mu   sync.Mutex
+	subs []*subscription
+	// sampler, when set, receives every sampleEvery-th event (the RHC feed).
+	sampler     func(ev *Event)
+	sampleEvery uint64
+	published   uint64
+}
+
+// NewMultiplexer creates an empty EM.
+func NewMultiplexer() *Multiplexer {
+	return &Multiplexer{}
+}
+
+// DefaultQueueCap is the per-auditor async ring capacity.
+const DefaultQueueCap = 4096
+
+// Register subscribes an auditor. queueCap bounds the async ring (0 means
+// DefaultQueueCap); events beyond capacity are dropped and counted, matching
+// the non-blocking forwarding design.
+func (m *Multiplexer) Register(a Auditor, mode DeliveryMode, queueCap int) error {
+	if a == nil {
+		return fmt.Errorf("core: Register called with nil auditor")
+	}
+	if mode != DeliverSync && mode != DeliverAsync {
+		return fmt.Errorf("core: invalid delivery mode %v", mode)
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.subs {
+		if s.auditor == a {
+			return fmt.Errorf("core: auditor %q already registered", a.Name())
+		}
+	}
+	sub := &subscription{auditor: a, mode: mode, mask: a.Mask()}
+	if mode == DeliverAsync {
+		sub.ring = make([]Event, queueCap)
+	}
+	m.subs = append(m.subs, sub)
+	return nil
+}
+
+// Unregister removes an auditor; pending queued events are discarded.
+func (m *Multiplexer) Unregister(a Auditor) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, s := range m.subs {
+		if s.auditor == a {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SetSampler installs the RHC feed: fn receives every n-th published event.
+func (m *Multiplexer) SetSampler(n uint64, fn func(ev *Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sampler = fn
+	m.sampleEvery = n
+}
+
+// Publish delivers one event: synchronous subscribers run inline (vCPU still
+// suspended); asynchronous subscribers get a queued copy.
+func (m *Multiplexer) Publish(ev *Event) {
+	m.mu.Lock()
+	m.published++
+	if m.sampler != nil && m.sampleEvery > 0 && m.published%m.sampleEvery == 0 {
+		sampler := m.sampler
+		evCopy := *ev
+		m.mu.Unlock()
+		sampler(&evCopy)
+		m.mu.Lock()
+	}
+	var syncSubs []*subscription
+	for _, s := range m.subs {
+		if !s.mask.Has(ev.Type) {
+			continue
+		}
+		switch s.mode {
+		case DeliverSync:
+			syncSubs = append(syncSubs, s)
+		case DeliverAsync:
+			if s.count == len(s.ring) {
+				s.dropped++
+				continue
+			}
+			s.ring[(s.head+s.count)%len(s.ring)] = *ev
+			s.count++
+			s.queued++
+		}
+	}
+	m.mu.Unlock()
+
+	// Sync delivery outside the lock: auditors may call back into the EM
+	// (e.g., to pause the VM through their GuestView).
+	for _, s := range syncSubs {
+		s.auditor.HandleEvent(ev)
+		m.mu.Lock()
+		s.delivered++
+		m.mu.Unlock()
+	}
+}
+
+// Dispatch drains up to max queued events per async subscriber (max <= 0
+// drains everything), running each auditor in registration order. It returns
+// the number of events delivered. The hypervisor calls this between ticks;
+// an auditing container goroutine may also call it.
+func (m *Multiplexer) Dispatch(max int) int {
+	total := 0
+	for {
+		type workItem struct {
+			a  Auditor
+			ev Event
+		}
+		var batch []workItem
+		m.mu.Lock()
+		for _, s := range m.subs {
+			if s.mode != DeliverAsync {
+				continue
+			}
+			n := s.count
+			if max > 0 && n > max {
+				n = max
+			}
+			for i := 0; i < n; i++ {
+				batch = append(batch, workItem{a: s.auditor, ev: s.ring[s.head]})
+				s.head = (s.head + 1) % len(s.ring)
+				s.count--
+				s.delivered++
+			}
+		}
+		m.mu.Unlock()
+		if len(batch) == 0 {
+			return total
+		}
+		for i := range batch {
+			batch[i].a.HandleEvent(&batch[i].ev)
+		}
+		total += len(batch)
+		if max > 0 {
+			return total
+		}
+	}
+}
+
+// Stats returns delivery accounting per subscription.
+func (m *Multiplexer) Stats() []SubscriptionStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SubscriptionStats, 0, len(m.subs))
+	for _, s := range m.subs {
+		out = append(out, SubscriptionStats{
+			Auditor:   s.auditor.Name(),
+			Mode:      s.mode,
+			Delivered: s.delivered,
+			Queued:    s.queued,
+			Dropped:   s.dropped,
+		})
+	}
+	return out
+}
+
+// Published returns the total number of events published.
+func (m *Multiplexer) Published() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.published
+}
+
+// AuditorFunc adapts a function (with name and mask) to the Auditor
+// interface, for lightweight policies and tests.
+type AuditorFunc struct {
+	AuditorName string
+	EventMask   EventMask
+	Fn          func(ev *Event)
+}
+
+// Name implements Auditor.
+func (a *AuditorFunc) Name() string { return a.AuditorName }
+
+// Mask implements Auditor.
+func (a *AuditorFunc) Mask() EventMask { return a.EventMask }
+
+// HandleEvent implements Auditor.
+func (a *AuditorFunc) HandleEvent(ev *Event) { a.Fn(ev) }
+
+var _ Auditor = (*AuditorFunc)(nil)

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Remote Health Checker (RHC): the paper's answer to "who monitors the
+// monitor". The Event Multiplexer samples the event stream and forwards
+// heartbeats to an RHC server on a separate machine; if heartbeats stop
+// arriving, the monitoring stack itself (hypervisor, EF, EM) is presumed
+// dead or wedged and an alert is raised.
+//
+// The reproduction runs the RHC over real TCP (stdlib net), typically on
+// loopback in tests; staleness is judged in wall-clock time because the RHC
+// exists precisely for the case where the monitored stack — and with it
+// virtual time — has stopped.
+
+// Heartbeat is one sampled-event notification.
+type Heartbeat struct {
+	// VM names the monitored VM.
+	VM string
+	// Seq is the exit sequence number of the sampled event.
+	Seq uint64
+	// VTime is the virtual timestamp of the sampled event.
+	VTime time.Duration
+	// Received is the wall-clock arrival time at the RHC.
+	Received time.Time
+}
+
+// RHCAlert reports a liveness violation.
+type RHCAlert struct {
+	// VM names the silent VM ("" if nothing was ever received).
+	VM string
+	// Silence is how long the RHC went without a heartbeat.
+	Silence time.Duration
+	// At is the wall-clock alert time.
+	At time.Time
+}
+
+// RHCServer receives heartbeats and raises alerts on silence.
+type RHCServer struct {
+	ln        net.Listener
+	threshold time.Duration
+
+	mu       sync.Mutex
+	last     map[string]time.Time
+	lastBeat map[string]Heartbeat
+	received uint64
+	closed   bool
+
+	alerts chan RHCAlert
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewRHCServer starts an RHC listening on addr (e.g., "127.0.0.1:0").
+// threshold is the maximum tolerated heartbeat silence.
+func NewRHCServer(addr string, threshold time.Duration) (*RHCServer, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("core: RHC threshold must be positive, got %v", threshold)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: RHC listen: %w", err)
+	}
+	s := &RHCServer{
+		ln:        ln,
+		threshold: threshold,
+		last:      make(map[string]time.Time),
+		lastBeat:  make(map[string]Heartbeat),
+		alerts:    make(chan RHCAlert, 16),
+		done:      make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.watchdog()
+	return s, nil
+}
+
+// Addr returns the server's listen address for clients to dial.
+func (s *RHCServer) Addr() string { return s.ln.Addr().String() }
+
+// Alerts returns the alert channel.
+func (s *RHCServer) Alerts() <-chan RHCAlert { return s.alerts }
+
+// Received returns the number of heartbeats received.
+func (s *RHCServer) Received() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// LastHeartbeat returns the most recent heartbeat for a VM.
+func (s *RHCServer) LastHeartbeat(vm string) (Heartbeat, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hb, ok := s.lastBeat[vm]
+	return hb, ok
+}
+
+// Close stops the server.
+func (s *RHCServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *RHCServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *RHCServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() { _ = conn.Close() }()
+	// Unblock the read when the server shuts down.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-s.done:
+			_ = conn.SetReadDeadline(time.Now())
+		case <-stop:
+		}
+	}()
+
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		hb, err := parseHeartbeat(sc.Text())
+		if err != nil {
+			continue // tolerate malformed lines
+		}
+		hb.Received = time.Now()
+		s.mu.Lock()
+		s.last[hb.VM] = hb.Received
+		s.lastBeat[hb.VM] = hb
+		s.received++
+		s.mu.Unlock()
+	}
+}
+
+func (s *RHCServer) watchdog() {
+	defer s.wg.Done()
+	interval := s.threshold / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-ticker.C:
+			s.mu.Lock()
+			for vm, last := range s.last {
+				if silence := now.Sub(last); silence > s.threshold {
+					alert := RHCAlert{VM: vm, Silence: silence, At: now}
+					select {
+					case s.alerts <- alert:
+					default:
+					}
+					// Re-arm rather than flooding.
+					s.last[vm] = now
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// heartbeat wire format: "vm seq vtime_ns\n".
+func parseHeartbeat(line string) (Heartbeat, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return Heartbeat{}, fmt.Errorf("core: malformed heartbeat %q", line)
+	}
+	seq, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return Heartbeat{}, fmt.Errorf("core: bad heartbeat seq: %w", err)
+	}
+	ns, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return Heartbeat{}, fmt.Errorf("core: bad heartbeat vtime: %w", err)
+	}
+	return Heartbeat{VM: fields[0], Seq: seq, VTime: time.Duration(ns)}, nil
+}
+
+// RHCClient forwards sampled events from the EM to an RHC server.
+type RHCClient struct {
+	vm   string
+	conn net.Conn
+	mu   sync.Mutex
+	sent uint64
+}
+
+// DialRHC connects a named VM's sampler to an RHC server.
+func DialRHC(vm, addr string) (*RHCClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("core: RHC dial %s: %w", addr, err)
+	}
+	return &RHCClient{vm: vm, conn: conn}, nil
+}
+
+// Send forwards one sampled event as a heartbeat; best-effort (errors are
+// swallowed so the logging path never blocks on the network, matching the
+// non-blocking forwarding design).
+func (c *RHCClient) Send(ev *Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := fmt.Fprintf(c.conn, "%s %d %d\n", c.vm, ev.Seq, int64(ev.Time)); err == nil {
+		c.sent++
+	}
+}
+
+// Sent returns the number of successfully written heartbeats.
+func (c *RHCClient) Sent() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// Close closes the connection.
+func (c *RHCClient) Close() error { return c.conn.Close() }

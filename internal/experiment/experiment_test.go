@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hypertap/internal/inject"
+)
+
+func TestCDF(t *testing.T) {
+	lats := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second}
+	marks := []time.Duration{500 * time.Millisecond, 2 * time.Second, 10 * time.Second}
+	got := CDF(lats, marks)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+	// Empty input: all zeros, no panic.
+	for _, v := range CDF(nil, marks) {
+		if v != 0 {
+			t.Fatal("CDF of empty input nonzero")
+		}
+	}
+}
+
+func TestGOSHDResultAggregation(t *testing.T) {
+	r := &GOSHDResult{Cells: map[GOSHDCell]*GOSHDCellStats{
+		{Workload: "a"}: {
+			Counts: map[inject.Outcome]int{
+				inject.NotActivated: 5, inject.NotManifested: 2,
+				inject.PartialHang: 2, inject.FullHang: 6,
+			},
+			FirstLatencies: []time.Duration{4 * time.Second, 5 * time.Second},
+			FullLatencies:  []time.Duration{9 * time.Second},
+		},
+		{Workload: "b"}: {
+			Counts:         map[inject.Outcome]int{inject.NotDetected: 2, inject.FullHang: 10},
+			FirstLatencies: []time.Duration{6 * time.Second},
+		},
+	}}
+	totals := r.Outcomes()
+	if totals[inject.FullHang] != 16 || totals[inject.NotActivated] != 5 {
+		t.Fatalf("totals = %v", totals)
+	}
+	// manifested = 2 + 2 + 16 = 20; detected = 18.
+	if got := r.Coverage(); got != 0.9 {
+		t.Fatalf("coverage = %v, want 0.9", got)
+	}
+	// partial share = 2 / 18.
+	if got := r.PartialHangShare(); got < 0.111 || got > 0.112 {
+		t.Fatalf("partial share = %v", got)
+	}
+	if got := r.AllFirstLatencies(); len(got) != 3 || got[0] != 4*time.Second {
+		t.Fatalf("first latencies = %v", got)
+	}
+	if got := r.AllFullLatencies(); len(got) != 1 {
+		t.Fatalf("full latencies = %v", got)
+	}
+	out := FormatGOSHD(r)
+	if !strings.Contains(out, "coverage") || !strings.Contains(out, "a/non-preempt") {
+		t.Fatalf("FormatGOSHD output missing pieces:\n%s", out)
+	}
+	if FormatLatencyCDF(r) == "" {
+		t.Fatal("empty latency CDF output")
+	}
+}
+
+func TestEmptyResultNoDivideByZero(t *testing.T) {
+	r := &GOSHDResult{Cells: map[GOSHDCell]*GOSHDCellStats{}}
+	if r.Coverage() != 0 || r.PartialHangShare() != 0 {
+		t.Fatal("empty result produced nonzero rates")
+	}
+}
+
+func TestGOSHDCellString(t *testing.T) {
+	c := GOSHDCell{Workload: "hanoi", Preemptible: true, Persistence: inject.Transient}
+	if !strings.Contains(c.String(), "preempt") || !strings.Contains(c.String(), "hanoi") {
+		t.Fatalf("cell string = %q", c.String())
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	row := summarizeDurations(time.Second, []time.Duration{
+		900 * time.Millisecond, time.Second, 1100 * time.Millisecond,
+	})
+	if row.Mean != time.Second {
+		t.Fatalf("mean = %v", row.Mean)
+	}
+	if row.Min != 900*time.Millisecond || row.Max != 1100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", row.Min, row.Max)
+	}
+	if row.SD <= 0 {
+		t.Fatal("zero SD for spread data")
+	}
+	if row.Samples != 3 {
+		t.Fatalf("samples = %d", row.Samples)
+	}
+}
+
+func TestShowdownCellProbability(t *testing.T) {
+	c := ShowdownCell{Reps: 300, Detected: 30}
+	if c.Probability() != 0.1 {
+		t.Fatalf("probability = %v", c.Probability())
+	}
+	if (ShowdownCell{}).Probability() != 0 {
+		t.Fatal("zero reps produced nonzero probability")
+	}
+}
+
+func TestPerfRowOverhead(t *testing.T) {
+	row := PerfRow{Baseline: 100 * time.Millisecond, Times: map[string]time.Duration{
+		"m": 119 * time.Millisecond,
+	}}
+	if got := row.Overhead("m"); got < 0.189 || got > 0.191 {
+		t.Fatalf("overhead = %v, want 0.19", got)
+	}
+	if row.Overhead("missing") != 0 {
+		t.Fatal("missing setup produced overhead")
+	}
+}
+
+func TestFig7SetupsAndAblation(t *testing.T) {
+	setups := Fig7Setups()
+	if len(setups) != 3 {
+		t.Fatalf("Fig7Setups = %d, want 3", len(setups))
+	}
+	names := map[string]bool{}
+	for _, s := range setups {
+		names[s.Name] = true
+		if s.Attach == nil {
+			t.Errorf("%s has no attach", s.Name)
+		}
+	}
+	for _, want := range []string{"HRKD only", "HT-Ninja only", "All three"} {
+		if !names[want] {
+			t.Errorf("missing setup %q", want)
+		}
+	}
+	ab := AblationSeparate()
+	if ab.LoggingStacks != 3 || ab.Name == "All three" {
+		t.Fatalf("ablation = %+v", ab)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if FormatSideChannel([]SideChannelRow{{Nominal: time.Second, Mean: time.Second, Samples: 3}}) == "" {
+		t.Fatal("empty side channel table")
+	}
+	if FormatShowdown([]ShowdownCell{{Monitor: "x", Param: "y", Reps: 1}}) == "" {
+		t.Fatal("empty showdown table")
+	}
+	demo := FormatDemos([]DemoRow{{Attack: "a", Monitor: "m", Detected: true, Expected: false}})
+	if !strings.Contains(demo, "MISMATCH") {
+		t.Fatal("demo mismatch marker missing")
+	}
+	hr := FormatHRKD(&HRKDResult{Rows: []HRKDRow{{Rootkit: "FU", Detected: false}}})
+	if !strings.Contains(hr, "WARNING") {
+		t.Fatal("HRKD warning missing for undetected rootkit")
+	}
+	perf := FormatPerf(&PerfResult{Setups: []string{"m"}, Rows: []PerfRow{{
+		Benchmark: "Dhrystone 2", Baseline: time.Second,
+		Times: map[string]time.Duration{"m": 1100 * time.Millisecond},
+	}}})
+	if !strings.Contains(perf, "Dhrystone") {
+		t.Fatal("perf table missing rows")
+	}
+	ti := FormatTableI([]TableIRow{{Category: "c", Event: "e", ExitType: "x", Invariant: "i", Observed: 3}})
+	if !strings.Contains(ti, "Table I") {
+		t.Fatal("table I header missing")
+	}
+}
+
+// TestGOSHDCampaignTinySlice runs a 4-site, single-cell campaign end to end
+// as a fast regression of the whole Fig. 4 pipeline.
+func TestGOSHDCampaignTinySlice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign slice is seconds-long")
+	}
+	r, err := RunGOSHDCampaign(GOSHDConfig{
+		SampleEvery:  96,
+		Workloads:    []string{"make -j2"},
+		Kernels:      []bool{false},
+		Persistences: []inject.Persistence{inject.Persistent},
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs != r.Sites {
+		t.Fatalf("runs = %d, sites = %d", r.Runs, r.Sites)
+	}
+	totals := r.Outcomes()
+	var sum int
+	for _, n := range totals {
+		sum += n
+	}
+	if sum != r.Runs {
+		t.Fatalf("outcome counts (%d) do not add up to runs (%d)", sum, r.Runs)
+	}
+	if totals[inject.PartialHang]+totals[inject.FullHang] == 0 {
+		t.Fatal("campaign slice produced no detected hangs")
+	}
+}
+
+func TestSweepsProduceMonotoneTrends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are multi-second")
+	}
+	cfg := SweepConfig{Reps: 25, Seed: 9}
+	h, err := RunHNinjaIntervalSweep([]time.Duration{
+		4 * time.Millisecond, 12 * time.Millisecond, 40 * time.Millisecond,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 3 || h[0].Probability < h[2].Probability {
+		t.Fatalf("H-Ninja curve not decreasing: %+v", h)
+	}
+	if h[0].Probability < 0.9 {
+		t.Fatalf("4ms interval should catch nearly everything, got %.2f", h[0].Probability)
+	}
+	o, err := RunONinjaSpamSweep([]int{0, 200}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o) != 2 || o[0].Probability < o[1].Probability {
+		t.Fatalf("O-Ninja curve not decreasing: %+v", o)
+	}
+	if FormatSweep("t", h) == "" {
+		t.Fatal("empty sweep format")
+	}
+}

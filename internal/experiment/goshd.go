@@ -1,0 +1,519 @@
+// Package experiment implements one harness per table and figure of the
+// paper's evaluation (§VIII and §IX), regenerating the reported rows and
+// series on the simulated substrate. Each harness is deterministic given its
+// seed; cmd/ tools run them at paper scale and the bench suite at reduced
+// scale.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/inject"
+	"hypertap/internal/workload"
+)
+
+// GOSHDConfig parameterizes the Fig. 4 / Fig. 5 fault-injection campaign.
+type GOSHDConfig struct {
+	// SampleEvery selects every n-th fault site (1 = all 374, the paper's
+	// full campaign).
+	SampleEvery int
+	// Workloads are the campaign workloads (default: the paper's four).
+	Workloads []string
+	// Kernels selects the preemption configurations (default: both).
+	Kernels []bool
+	// Persistences selects fault activation semantics (default: both).
+	Persistences []inject.Persistence
+	// Threshold is GOSHD's alarm threshold (default 4s, the paper's 2×
+	// profiled maximum timeslice).
+	Threshold time.Duration
+	// Exposure bounds the wait for fault activation (default 15s).
+	Exposure time.Duration
+	// Runway bounds the wait for a first alarm after activation
+	// (default 12s).
+	Runway time.Duration
+	// Observe bounds the partial→full propagation window after the first
+	// alarm (default 30s; compresses the paper's 10-minute watch).
+	Observe time.Duration
+	// Seed drives workload jitter.
+	Seed int64
+	// Parallel is the number of injection runs executed concurrently
+	// (each in its own VM). 0 selects GOMAXPROCS. Results are
+	// deterministic regardless of parallelism: every run is an
+	// independent machine keyed by its own seed.
+	Parallel int
+	// Progress, when set, is called after each run.
+	Progress func(done, total int)
+}
+
+func (c *GOSHDConfig) fillDefaults() {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 1
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.CampaignWorkloadNames()
+	}
+	if len(c.Kernels) == 0 {
+		c.Kernels = []bool{false, true}
+	}
+	if len(c.Persistences) == 0 {
+		c.Persistences = []inject.Persistence{inject.Transient, inject.Persistent}
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 4 * time.Second
+	}
+	if c.Exposure == 0 {
+		c.Exposure = 15 * time.Second
+	}
+	if c.Runway == 0 {
+		c.Runway = 12 * time.Second
+	}
+	if c.Observe == 0 {
+		c.Observe = 30 * time.Second
+	}
+}
+
+// GOSHDCell identifies one bar of Fig. 4.
+type GOSHDCell struct {
+	Workload    string
+	Preemptible bool
+	Persistence inject.Persistence
+}
+
+func (c GOSHDCell) String() string {
+	kernel := "non-preempt"
+	if c.Preemptible {
+		kernel = "preempt"
+	}
+	return fmt.Sprintf("%s/%s/%s", c.Workload, kernel, c.Persistence)
+}
+
+// GOSHDCellStats aggregates one cell's outcomes and latencies.
+type GOSHDCellStats struct {
+	Counts         map[inject.Outcome]int
+	FirstLatencies []time.Duration
+	FullLatencies  []time.Duration
+}
+
+// GOSHDResult is the whole campaign.
+type GOSHDResult struct {
+	Cells map[GOSHDCell]*GOSHDCellStats
+	Runs  int
+	Sites int
+}
+
+// Outcomes sums outcome counts across cells.
+func (r *GOSHDResult) Outcomes() map[inject.Outcome]int {
+	total := make(map[inject.Outcome]int)
+	for _, cs := range r.Cells {
+		for o, n := range cs.Counts {
+			total[o] += n
+		}
+	}
+	return total
+}
+
+// Coverage returns detected/manifested — the paper's headline 99.8%.
+func (r *GOSHDResult) Coverage() float64 {
+	t := r.Outcomes()
+	manifested := t[inject.NotDetected] + t[inject.PartialHang] + t[inject.FullHang]
+	if manifested == 0 {
+		return 0
+	}
+	return float64(t[inject.PartialHang]+t[inject.FullHang]) / float64(manifested)
+}
+
+// PartialHangShare returns partial hangs / manifested hangs.
+func (r *GOSHDResult) PartialHangShare() float64 {
+	t := r.Outcomes()
+	hangs := t[inject.PartialHang] + t[inject.FullHang]
+	if hangs == 0 {
+		return 0
+	}
+	return float64(t[inject.PartialHang]) / float64(hangs)
+}
+
+// AllFirstLatencies returns every first-alarm latency (Fig. 5 blue series).
+func (r *GOSHDResult) AllFirstLatencies() []time.Duration {
+	var out []time.Duration
+	for _, cs := range r.Cells {
+		out = append(out, cs.FirstLatencies...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllFullLatencies returns every full-hang latency (Fig. 5 red series).
+func (r *GOSHDResult) AllFullLatencies() []time.Duration {
+	var out []time.Duration
+	for _, cs := range r.Cells {
+		out = append(out, cs.FullLatencies...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RunGOSHDCampaign executes the Fig. 4 campaign.
+func RunGOSHDCampaign(cfg GOSHDConfig) (*GOSHDResult, error) {
+	cfg.fillDefaults()
+
+	// Enumerate sites from a scratch kernel.
+	sites, err := enumerateSites()
+	if err != nil {
+		return nil, err
+	}
+	var selected []guest.SiteInfo
+	for i, s := range sites {
+		if i%cfg.SampleEvery == 0 {
+			selected = append(selected, s)
+		}
+	}
+
+	result := &GOSHDResult{Cells: make(map[GOSHDCell]*GOSHDCellStats), Sites: len(selected)}
+
+	// Build the full run list, then execute it on a worker pool: every run
+	// is an independent VM, so parallelism changes only wall time.
+	type job struct {
+		cell GOSHDCell
+		cfg  InjectionConfig
+	}
+	var jobs []job
+	for _, preempt := range cfg.Kernels {
+		for _, persistence := range cfg.Persistences {
+			for _, wl := range cfg.Workloads {
+				cell := GOSHDCell{Workload: wl, Preemptible: preempt, Persistence: persistence}
+				result.Cells[cell] = &GOSHDCellStats{Counts: make(map[inject.Outcome]int)}
+				for _, site := range selected {
+					jobs = append(jobs, job{cell: cell, cfg: InjectionConfig{
+						Workload:    wl,
+						Preemptible: preempt,
+						Fault:       inject.Fault{Site: site.ID, Persistence: persistence},
+						Threshold:   cfg.Threshold,
+						Exposure:    cfg.Exposure,
+						Runway:      cfg.Runway,
+						Observe:     cfg.Observe,
+						Seed:        cfg.Seed + int64(site.ID),
+					}})
+				}
+			}
+		}
+	}
+
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		wg       sync.WaitGroup
+	)
+	next := make(chan job)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				rr, err := RunInjection(j.cfg)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("experiment: injection %v at site %d: %w",
+						j.cell, j.cfg.Fault.Site, err)
+				}
+				if err == nil {
+					stats := result.Cells[j.cell]
+					stats.Counts[rr.Outcome]++
+					if lat, ok := rr.DetectionLatency(); ok {
+						stats.FirstLatencies = append(stats.FirstLatencies, lat)
+					}
+					if lat, ok := rr.FullHangLatency(); ok {
+						stats.FullLatencies = append(stats.FullLatencies, lat)
+					}
+					result.Runs++
+				}
+				done++
+				progress := cfg.Progress
+				total := len(jobs)
+				n := done
+				mu.Unlock()
+				if progress != nil {
+					progress(n, total)
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return result, nil
+}
+
+// enumerateSites boots a throwaway kernel to read the site table.
+func enumerateSites() ([]guest.SiteInfo, error) {
+	m, err := hv.New(hv.Config{VCPUs: 1, MemBytes: 64 << 20})
+	if err != nil {
+		return nil, err
+	}
+	return m.Kernel().Sites(), nil
+}
+
+// InjectionConfig parameterizes one injection run.
+type InjectionConfig struct {
+	Workload    string
+	Preemptible bool
+	Fault       inject.Fault
+	Threshold   time.Duration
+	Exposure    time.Duration
+	Runway      time.Duration
+	Observe     time.Duration
+	Seed        int64
+}
+
+// RunInjection boots a clean 2-vCPU VM with GOSHD attached, starts the
+// workload and the external SSH probe, injects the fault, and classifies
+// the outcome per the paper's taxonomy.
+func RunInjection(cfg InjectionConfig) (inject.RunResult, error) {
+	m, err := hv.New(hv.Config{
+		VCPUs:    2,
+		MemBytes: 64 << 20,
+		Guest:    guest.Config{Preemptible: cfg.Preemptible, Seed: cfg.Seed},
+	})
+	if err != nil {
+		return inject.RunResult{}, err
+	}
+	if _, err := m.EnableMonitoring(intercept.Features{
+		ProcessSwitch: true,
+		ThreadSwitch:  true,
+	}); err != nil {
+		return inject.RunResult{}, err
+	}
+	det, err := goshd.New(goshd.Config{
+		Clock:     m.Clock(),
+		VCPUs:     m.NumVCPUs(),
+		Threshold: cfg.Threshold,
+	})
+	if err != nil {
+		return inject.RunResult{}, err
+	}
+	// GOSHD is non-blocking (the paper's default auditing mode).
+	if err := m.EM().Register(det, core.DeliverAsync, 0); err != nil {
+		return inject.RunResult{}, err
+	}
+	if err := m.Boot(); err != nil {
+		return inject.RunResult{}, err
+	}
+
+	// Guest services and workload.
+	if _, err := m.Kernel().CreateProcess(workload.SSHD(), nil); err != nil {
+		return inject.RunResult{}, err
+	}
+	procs, err := workload.CampaignProcs(cfg.Workload)
+	if err != nil {
+		return inject.RunResult{}, err
+	}
+	for _, p := range procs {
+		if _, err := m.Kernel().CreateProcess(p, nil); err != nil {
+			return inject.RunResult{}, err
+		}
+	}
+	// HTTP load generation, when the workload needs it.
+	if hint := workload.CampaignLoad(cfg.Workload); hint != nil {
+		var pump func(now time.Duration)
+		seq := uint64(0)
+		pump = func(now time.Duration) {
+			seq++
+			m.InjectNetRequest(hint.Port, seq)
+			m.Clock().AfterFunc(hint.Interval, pump)
+		}
+		m.Clock().AfterFunc(hint.Interval, pump)
+	}
+
+	probe := newSSHProbe(m)
+	probe.start()
+
+	// Warm-up, then arm the watchdogs and the fault.
+	m.Run(2 * time.Second)
+	det.Start()
+	plan, err := inject.NewPlan(cfg.Fault, m.Clock().Now)
+	if err != nil {
+		return inject.RunResult{}, err
+	}
+	m.Kernel().SetFaultPlan(plan)
+
+	// Phase 1: wait for the faulty location to execute.
+	m.RunUntil(cfg.Exposure, func() bool { probe.drain(); return plan.Executed() })
+	rr := inject.RunResult{Fault: cfg.Fault}
+	if !plan.Executed() {
+		rr.Outcome = inject.NotActivated
+		return rr, nil
+	}
+	rr.ActivatedAt = plan.ActivatedAt()
+
+	// Phase 2: wait for a first alarm.
+	m.RunUntil(cfg.Runway, func() bool { probe.drain(); return len(det.Alarms()) > 0 })
+
+	// Phase 3: watch propagation or let the probe time out.
+	if len(det.Alarms()) > 0 {
+		m.RunUntil(cfg.Observe, func() bool { probe.drain(); return det.FullHang() })
+	} else {
+		m.RunUntil(probeTimeout+2*time.Second, func() bool { probe.drain(); return probe.failed() })
+	}
+	probe.drain()
+
+	alarms := det.Alarms()
+	rr.ProbeFailed = probe.failed()
+	switch {
+	case len(alarms) > 0:
+		rr.FirstAlarmAt = alarms[0].At
+		if det.FullHang() {
+			rr.Outcome = inject.FullHang
+			last := alarms[0].At
+			for _, a := range alarms {
+				if a.At > last {
+					last = a.At
+				}
+			}
+			rr.FullHangAt = last
+		} else {
+			rr.Outcome = inject.PartialHang
+		}
+	case rr.ProbeFailed:
+		rr.Outcome = inject.NotDetected
+	default:
+		rr.Outcome = inject.NotManifested
+	}
+	return rr, nil
+}
+
+// probeTimeout is the SSH probe's liveness deadline.
+const probeTimeout = 6 * time.Second
+
+// sshProbe plays the paper's external probe: it pings the guest sshd every
+// second and declares the VM failed after probeTimeout of silence. It is
+// the *ground-truth labeler* the paper used — and, as the paper found, it
+// can be fooled by hangs confined to sshd itself (the Not Detected cases).
+type sshProbe struct {
+	m           *hv.Machine
+	sent        uint64
+	lastReplyAt time.Duration
+	everReplied bool
+	hasFailed   bool
+}
+
+func newSSHProbe(m *hv.Machine) *sshProbe {
+	return &sshProbe{m: m}
+}
+
+func (p *sshProbe) start() {
+	var ping func(now time.Duration)
+	ping = func(now time.Duration) {
+		p.sent++
+		p.m.InjectNetRequest(workload.SSHDPort, p.sent)
+		p.m.Clock().AfterFunc(time.Second, ping)
+	}
+	p.m.Clock().AfterFunc(time.Second, ping)
+}
+
+// drain consumes replies and updates the liveness verdict.
+func (p *sshProbe) drain() {
+	for _, reply := range p.m.Kernel().DrainNetReplies() {
+		if reply.Port == workload.SSHDPort {
+			p.lastReplyAt = reply.At
+			p.everReplied = true
+		}
+	}
+	if p.everReplied && p.m.Clock().Now()-p.lastReplyAt > probeTimeout {
+		p.hasFailed = true
+	}
+}
+
+func (p *sshProbe) failed() bool { return p.hasFailed }
+
+// FormatGOSHD renders the campaign as a Fig. 4-style table.
+func FormatGOSHD(r *GOSHDResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GOSHD fault-injection campaign: %d sites, %d runs\n", r.Sites, r.Runs)
+	fmt.Fprintf(&b, "%-34s %13s %14s %12s %12s %9s\n",
+		"cell", "Not Activated", "Not Manifested", "Not Detected", "Partial Hang", "Full Hang")
+
+	cells := make([]GOSHDCell, 0, len(r.Cells))
+	for c := range r.Cells {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].String() < cells[j].String() })
+	for _, c := range cells {
+		cs := r.Cells[c]
+		fmt.Fprintf(&b, "%-34s %13d %14d %12d %12d %9d\n", c.String(),
+			cs.Counts[inject.NotActivated], cs.Counts[inject.NotManifested],
+			cs.Counts[inject.NotDetected], cs.Counts[inject.PartialHang],
+			cs.Counts[inject.FullHang])
+	}
+	t := r.Outcomes()
+	manifested := t[inject.NotDetected] + t[inject.PartialHang] + t[inject.FullHang]
+	activated := manifested + t[inject.NotManifested]
+	fmt.Fprintf(&b, "\nactivated faults that manifested as hangs: %.1f%%\n",
+		pct(manifested, activated))
+	fmt.Fprintf(&b, "hang detection coverage: %.1f%% (paper: 99.8%%)\n", 100*r.Coverage())
+	fmt.Fprintf(&b, "partial hangs among manifested hangs: %.1f%% (paper: 18-26%%)\n",
+		100*r.PartialHangShare())
+	return b.String()
+}
+
+// CDF computes evenly spaced CDF points over sorted latencies for Fig. 5.
+func CDF(latencies []time.Duration, at []time.Duration) []float64 {
+	sorted := make([]time.Duration, len(latencies))
+	copy(sorted, latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]float64, len(at))
+	for i, t := range at {
+		n := sort.Search(len(sorted), func(j int) bool { return sorted[j] > t })
+		if len(sorted) > 0 {
+			out[i] = float64(n) / float64(len(sorted))
+		}
+	}
+	return out
+}
+
+// FormatLatencyCDF renders Fig. 5's two series.
+func FormatLatencyCDF(r *GOSHDResult) string {
+	marks := []time.Duration{
+		4 * time.Second, 6 * time.Second, 8 * time.Second, 12 * time.Second,
+		16 * time.Second, 24 * time.Second, 32 * time.Second,
+	}
+	first := r.AllFirstLatencies()
+	full := r.AllFullLatencies()
+	firstCDF := CDF(first, marks)
+	fullCDF := CDF(full, marks)
+	var b strings.Builder
+	fmt.Fprintf(&b, "GOSHD detection latency CDF (n_first=%d, n_full=%d)\n", len(first), len(full))
+	fmt.Fprintf(&b, "%-10s %18s %18s\n", "latency", "first-hang CDF", "full-hang CDF")
+	for i, mark := range marks {
+		fmt.Fprintf(&b, "%-10v %17.1f%% %17.1f%%\n", mark, 100*firstCDF[i], 100*fullCDF[i])
+	}
+	return b.String()
+}
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}

@@ -1,0 +1,19 @@
+package experiment
+
+import "testing"
+
+func TestHRKDMatrixSmoke(t *testing.T) {
+	r, err := RunHRKDMatrix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatHRKD(r))
+	if !r.AllDetected() {
+		t.Fatal("not all rootkits detected")
+	}
+	for _, row := range r.Rows {
+		if !row.HiddenFromPS {
+			t.Errorf("%s did not hide from in-guest ps", row.Rootkit)
+		}
+	}
+}

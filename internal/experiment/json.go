@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"hypertap/internal/inject"
+)
+
+// Machine-readable exports: every experiment result serializes to JSON so
+// downstream tooling (plotting, regression tracking) can consume the
+// reproduction without scraping tables.
+
+// goshdCellJSON is the export form of one Fig. 4 cell.
+type goshdCellJSON struct {
+	Workload        string         `json:"workload"`
+	Preemptible     bool           `json:"preemptible"`
+	Persistence     string         `json:"persistence"`
+	Outcomes        map[string]int `json:"outcomes"`
+	FirstLatenciesS []float64      `json:"first_latencies_s"`
+	FullLatenciesS  []float64      `json:"full_latencies_s"`
+}
+
+// goshdJSON is the export form of the whole campaign.
+type goshdJSON struct {
+	Sites            int             `json:"sites"`
+	Runs             int             `json:"runs"`
+	Coverage         float64         `json:"coverage"`
+	PartialHangShare float64         `json:"partial_hang_share"`
+	Cells            []goshdCellJSON `json:"cells"`
+}
+
+// WriteJSON exports the campaign result.
+func (r *GOSHDResult) WriteJSON(w io.Writer) error {
+	out := goshdJSON{
+		Sites:            r.Sites,
+		Runs:             r.Runs,
+		Coverage:         r.Coverage(),
+		PartialHangShare: r.PartialHangShare(),
+	}
+	for cell, stats := range r.Cells {
+		cj := goshdCellJSON{
+			Workload:    cell.Workload,
+			Preemptible: cell.Preemptible,
+			Persistence: cell.Persistence.String(),
+			Outcomes:    make(map[string]int),
+		}
+		for _, o := range inject.AllOutcomes() {
+			if n := stats.Counts[o]; n > 0 {
+				cj.Outcomes[o.String()] = n
+			}
+		}
+		cj.FirstLatenciesS = toSeconds(stats.FirstLatencies)
+		cj.FullLatenciesS = toSeconds(stats.FullLatencies)
+		out.Cells = append(out.Cells, cj)
+	}
+	return encodeJSON(w, out)
+}
+
+// WriteJSON exports Table II.
+func (r *HRKDResult) WriteJSON(w io.Writer) error {
+	return encodeJSON(w, struct {
+		AllDetected bool      `json:"all_detected"`
+		Rows        []HRKDRow `json:"rows"`
+	}{r.AllDetected(), r.Rows})
+}
+
+// sideChannelJSON is the export form of one Table III row.
+type sideChannelJSON struct {
+	IntervalS  float64 `json:"interval_s"`
+	PredictedS float64 `json:"predicted_s"`
+	MinS       float64 `json:"min_s"`
+	MaxS       float64 `json:"max_s"`
+	SDS        float64 `json:"sd_s"`
+	Samples    int     `json:"samples"`
+}
+
+// WriteSideChannelJSON exports Table III.
+func WriteSideChannelJSON(w io.Writer, rows []SideChannelRow) error {
+	out := make([]sideChannelJSON, len(rows))
+	for i, r := range rows {
+		out[i] = sideChannelJSON{
+			IntervalS:  r.Nominal.Seconds(),
+			PredictedS: r.Mean.Seconds(),
+			MinS:       r.Min.Seconds(),
+			MaxS:       r.Max.Seconds(),
+			SDS:        r.SD.Seconds(),
+			Samples:    r.Samples,
+		}
+	}
+	return encodeJSON(w, out)
+}
+
+// WriteShowdownJSON exports the §VIII-C2 cells.
+func WriteShowdownJSON(w io.Writer, cells []ShowdownCell) error {
+	type cellJSON struct {
+		Monitor     string  `json:"monitor"`
+		Param       string  `json:"param"`
+		Reps        int     `json:"reps"`
+		Detected    int     `json:"detected"`
+		Probability float64 `json:"probability"`
+	}
+	out := make([]cellJSON, len(cells))
+	for i, c := range cells {
+		out[i] = cellJSON{c.Monitor, c.Param, c.Reps, c.Detected, c.Probability()}
+	}
+	return encodeJSON(w, out)
+}
+
+// WriteDemosJSON exports the Fig. 6 attack matrix.
+func WriteDemosJSON(w io.Writer, rows []DemoRow) error {
+	return encodeJSON(w, rows)
+}
+
+// perfRowJSON is the export form of one Fig. 7 row.
+type perfRowJSON struct {
+	Benchmark  string             `json:"benchmark"`
+	BaselineS  float64            `json:"baseline_s"`
+	OverheadBy map[string]float64 `json:"overhead_by_setup"`
+}
+
+// WriteJSON exports Fig. 7.
+func (r *PerfResult) WriteJSON(w io.Writer) error {
+	out := make([]perfRowJSON, len(r.Rows))
+	for i, row := range r.Rows {
+		rj := perfRowJSON{
+			Benchmark:  row.Benchmark,
+			BaselineS:  row.Baseline.Seconds(),
+			OverheadBy: make(map[string]float64, len(r.Setups)),
+		}
+		for _, s := range r.Setups {
+			rj.OverheadBy[s] = row.Overhead(s)
+		}
+		out[i] = rj
+	}
+	return encodeJSON(w, out)
+}
+
+// WriteTableIJSON exports the verified Table I.
+func WriteTableIJSON(w io.Writer, rows []TableIRow) error {
+	return encodeJSON(w, rows)
+}
+
+func toSeconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,589 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"hypertap/internal/auditors/ped"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/malware"
+	"hypertap/internal/vmi"
+)
+
+// The three-Ninjas experiments of §VIII-C: the /proc side channel
+// (Table III), the passive-monitoring attack demonstrations (Fig. 6), and
+// the O-Ninja / H-Ninja / HT-Ninja detection-probability showdown.
+
+// oNinjaPerEntry is the effective per-process checking cost of the in-guest
+// Ninja daemon (stat + rule evaluation + scheduling), calibrated so the
+// baseline 31-process scan cycle lands near the paper's observed regime.
+const oNinjaPerEntry = 1200 * time.Microsecond
+
+// attackInstallTime is the escalation→hidden visibility window of the
+// rootkit-combined attack (the paper's ~4ms measured attack).
+const attackInstallTime = 4 * time.Millisecond
+
+// newPEDVM boots a VM with optional HyperTap monitoring.
+func newPEDVM(seed int64, monitored bool) (*hv.Machine, *intercept.Engine, error) {
+	m, err := hv.New(hv.Config{
+		VCPUs:    2,
+		MemBytes: 64 << 20,
+		Guest:    guest.Config{Seed: seed},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var engine *intercept.Engine
+	if monitored {
+		engine, err = m.EnableMonitoring(intercept.Features{
+			ProcessSwitch: true,
+			ThreadSwitch:  true,
+			Syscalls:      true,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := m.Boot(); err != nil {
+		return nil, nil, err
+	}
+	return m, engine, nil
+}
+
+// spawnUnderShell creates an unprivileged login shell and spawns the attack
+// as its child — the paper's attacks run from a user's terminal, and Ninja's
+// rule keys on the parent's (non-magic) uid.
+func spawnUnderShell(m *hv.Machine, spec *guest.ProcSpec) error {
+	shell, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "bash", UID: 1000,
+		Program: &guest.LoopProgram{Body: []guest.Step{guest.Sleep(time.Second)}},
+	}, nil)
+	if err != nil {
+		return err
+	}
+	_, err = m.Kernel().CreateProcess(spec, shell)
+	return err
+}
+
+// addFillers spawns benign daemons until the guest's task list shows about
+// target entries (the paper's 31-process baseline and the spamming attack's
+// filler population).
+func addFillers(m *hv.Machine, target int) error {
+	have := m.Kernel().LiveTaskCount()
+	for i := 0; have+i < target; i++ {
+		if _, err := m.Kernel().CreateProcess(malware.IdleSpammer(i), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SideChannelRow is one Table III row.
+type SideChannelRow struct {
+	Nominal time.Duration
+	Samples int
+	Mean    time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	SD      time.Duration
+}
+
+// RunSideChannelTable reproduces Table III: an unprivileged observer
+// measures O-Ninja's checking interval through /proc/PID/stat.
+func RunSideChannelTable(intervals []time.Duration, samples int, seed int64) ([]SideChannelRow, error) {
+	if len(intervals) == 0 {
+		intervals = []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second}
+	}
+	if samples <= 0 {
+		samples = 30
+	}
+	var rows []SideChannelRow
+	for _, interval := range intervals {
+		m, _, err := newPEDVM(seed, false)
+		if err != nil {
+			return nil, err
+		}
+		oninja := &ped.ONinja{
+			Policy:       ped.DefaultPolicy(),
+			Interval:     interval,
+			PerEntryCost: 150 * time.Microsecond,
+		}
+		ninjaTask, err := m.Kernel().CreateProcess(oninja.Spec(), nil)
+		if err != nil {
+			return nil, err
+		}
+		sc := &malware.SideChannel{TargetPID: ninjaTask.PID, Samples: samples}
+		if _, err := m.Kernel().CreateProcess(sc.Spec(), nil); err != nil {
+			return nil, err
+		}
+		budget := time.Duration(samples+4)*(interval+50*time.Millisecond) + 2*time.Second
+		m.RunUntil(budget, sc.Done)
+		measured := sc.Intervals()
+		if len(measured) == 0 {
+			return nil, fmt.Errorf("experiment: side channel measured nothing at interval %v", interval)
+		}
+		rows = append(rows, summarizeDurations(interval, measured))
+	}
+	return rows, nil
+}
+
+func summarizeDurations(nominal time.Duration, ds []time.Duration) SideChannelRow {
+	row := SideChannelRow{Nominal: nominal, Samples: len(ds), Min: ds[0], Max: ds[0]}
+	var sum float64
+	for _, d := range ds {
+		sum += float64(d)
+		if d < row.Min {
+			row.Min = d
+		}
+		if d > row.Max {
+			row.Max = d
+		}
+	}
+	mean := sum / float64(len(ds))
+	row.Mean = time.Duration(mean)
+	var varSum float64
+	for _, d := range ds {
+		diff := float64(d) - mean
+		varSum += diff * diff
+	}
+	row.SD = time.Duration(math.Sqrt(varSum / float64(len(ds))))
+	return row
+}
+
+// FormatSideChannel renders Table III.
+func FormatSideChannel(rows []SideChannelRow) string {
+	var b strings.Builder
+	b.WriteString("Table III: predicting Ninja's monitoring interval via /proc (seconds)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-10s %-10s %-10s %-8s\n", "Interval", "Predicted", "Min", "Max", "SD", "Samples")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10.0f %-10.5f %-10.5f %-10.5f %-10.5f %-8d\n",
+			r.Nominal.Seconds(), r.Mean.Seconds(), r.Min.Seconds(), r.Max.Seconds(), r.SD.Seconds(), r.Samples)
+	}
+	return b.String()
+}
+
+// DemoRow is one attack-vs-monitor demonstration (Fig. 6 and §VIII-C1).
+type DemoRow struct {
+	Attack  string `json:"attack"`
+	Monitor string `json:"monitor"`
+	// ActionDone reports whether the unauthorized operation completed.
+	ActionDone bool `json:"action_done"`
+	// Detected reports the monitor's verdict.
+	Detected bool `json:"detected"`
+	// Expected is the paper's qualitative expectation, for the harness to
+	// assert against.
+	Expected bool `json:"expected"`
+}
+
+// RunPassiveAttackDemos reproduces the qualitative attack matrix: which
+// attack defeats which monitor, per §VIII-C.
+func RunPassiveAttackDemos(seed int64) ([]DemoRow, error) {
+	var rows []DemoRow
+
+	// 1. Persistent escalation vs polling O-Ninja: caught (the control).
+	{
+		m, _, err := newPEDVM(seed, false)
+		if err != nil {
+			return nil, err
+		}
+		oninja := &ped.ONinja{Policy: ped.DefaultPolicy(), Interval: 200 * time.Millisecond,
+			PerEntryCost: 150 * time.Microsecond}
+		if _, err := m.Kernel().CreateProcess(oninja.Spec(), nil); err != nil {
+			return nil, err
+		}
+		logRec := &malware.AttackLog{}
+		att := &malware.TransientAttack{Log: logRec, Linger: 3 * time.Second}
+		if err := spawnUnderShell(m, att.Spec("attack")); err != nil {
+			return nil, err
+		}
+		m.Run(3 * time.Second)
+		rows = append(rows, DemoRow{
+			Attack: "persistent escalation", Monitor: "O-Ninja (200ms)",
+			ActionDone: logRec.Acted(), Detected: oninja.Detected(), Expected: true,
+		})
+	}
+
+	// 2. Transient attack vs polling O-Ninja: escapes (Fig. 6 top).
+	{
+		m, _, err := newPEDVM(seed+1, false)
+		if err != nil {
+			return nil, err
+		}
+		oninja := &ped.ONinja{Policy: ped.DefaultPolicy(), Interval: time.Second,
+			PerEntryCost: 150 * time.Microsecond}
+		if _, err := m.Kernel().CreateProcess(oninja.Spec(), nil); err != nil {
+			return nil, err
+		}
+		m.Run(1200 * time.Millisecond) // let a scan pass; attack lands in the sleep window
+		logRec := &malware.AttackLog{}
+		att := &malware.TransientAttack{Log: logRec}
+		if err := spawnUnderShell(m, att.Spec("attack")); err != nil {
+			return nil, err
+		}
+		m.Run(3 * time.Second)
+		rows = append(rows, DemoRow{
+			Attack: "transient attack", Monitor: "O-Ninja (1s)",
+			ActionDone: logRec.Acted(), Detected: oninja.Detected(), Expected: false,
+		})
+	}
+
+	// 3. Rootkit-combined attack vs O-Ninja and H-Ninja: escapes both.
+	{
+		m, _, err := newPEDVM(seed+2, false)
+		if err != nil {
+			return nil, err
+		}
+		oninja := &ped.ONinja{Policy: ped.DefaultPolicy(), Interval: 50 * time.Millisecond,
+			PerEntryCost: 150 * time.Microsecond}
+		if _, err := m.Kernel().CreateProcess(oninja.Spec(), nil); err != nil {
+			return nil, err
+		}
+		intro := vmi.New(m, m.Kernel().Symbols())
+		hninja := &ped.HNinja{Policy: ped.DefaultPolicy(), Intro: intro, Clock: m.Clock(),
+			Interval: 50 * time.Millisecond, Blocking: true}
+		if err := hninja.Start(); err != nil {
+			return nil, err
+		}
+		m.Run(500 * time.Millisecond)
+		logRec := &malware.AttackLog{}
+		att := &malware.RootkitAttack{
+			Log:         logRec,
+			Rootkit:     &malware.Rootkit{RkName: "ivyl", Techniques: malware.TechDKOM | malware.TechHijack},
+			InstallTime: 2 * time.Millisecond, // hide fast, then linger hidden
+			Linger:      5 * time.Second,
+		}
+		if err := spawnUnderShell(m, att.Spec("attack")); err != nil {
+			return nil, err
+		}
+		m.Run(4 * time.Second)
+		rows = append(rows,
+			DemoRow{Attack: "rootkit-combined", Monitor: "O-Ninja (50ms)",
+				ActionDone: logRec.Acted(), Detected: oninja.Detected(), Expected: false},
+			DemoRow{Attack: "rootkit-combined", Monitor: "H-Ninja (50ms)",
+				ActionDone: logRec.Acted(), Detected: hninja.Detected(), Expected: false},
+		)
+	}
+
+	// 4. Spamming vs non-blocking and blocking H-Ninja: the non-blocking
+	// scan can be outrun; the blocking scan cannot (§V-C, §VIII-C1).
+	for _, blocking := range []bool{false, true} {
+		m, _, err := newPEDVM(seed+3, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := addFillers(m, 120); err != nil {
+			return nil, err
+		}
+		intro := vmi.New(m, m.Kernel().Symbols())
+		hninja := &ped.HNinja{Policy: ped.DefaultPolicy(), Intro: intro, Clock: m.Clock(),
+			Interval: 40 * time.Millisecond, Blocking: blocking,
+			PerEntryCost: 500 * time.Microsecond}
+		if err := hninja.Start(); err != nil {
+			return nil, err
+		}
+		m.Run(300 * time.Millisecond)
+		// The attack outlives the polling interval (a blocking snapshot
+		// must land on it) but ends before the spam-stretched linear scan
+		// reaches its late /proc position (~120 entries × 500µs).
+		logRec := &malware.AttackLog{}
+		att := &malware.TransientAttack{Log: logRec, Linger: 45 * time.Millisecond}
+		if err := spawnUnderShell(m, att.Spec("attack")); err != nil {
+			return nil, err
+		}
+		m.Run(2 * time.Second)
+		name := "H-Ninja non-blocking (40ms, spammed)"
+		expected := false
+		if blocking {
+			name = "H-Ninja blocking (40ms, spammed)"
+			expected = true
+		}
+		rows = append(rows, DemoRow{
+			Attack: "spamming + escalation", Monitor: name,
+			ActionDone: logRec.Acted(), Detected: hninja.Detected(), Expected: expected,
+		})
+	}
+
+	// 5. Every attack vs HT-Ninja: all caught, before the damage.
+	attacks := []struct {
+		name  string
+		build func(logRec *malware.AttackLog) *guest.ProcSpec
+	}{
+		{"transient attack", func(l *malware.AttackLog) *guest.ProcSpec {
+			return (&malware.TransientAttack{Log: l}).Spec("attack")
+		}},
+		{"rootkit-combined", func(l *malware.AttackLog) *guest.ProcSpec {
+			return (&malware.RootkitAttack{Log: l,
+				Rootkit:     &malware.Rootkit{RkName: "suckit", Techniques: malware.TechKmem | malware.TechDKOM},
+				InstallTime: time.Millisecond}).Spec("attack")
+		}},
+		{"spamming + escalation", func(l *malware.AttackLog) *guest.ProcSpec {
+			return (&malware.TransientAttack{Log: l}).Spec("attack")
+		}},
+	}
+	for i, att := range attacks {
+		m, _, err := newPEDVM(seed+10+int64(i), true)
+		if err != nil {
+			return nil, err
+		}
+		intro := vmi.New(m, m.Kernel().Symbols())
+		htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(), View: m, Intro: intro})
+		if err != nil {
+			return nil, err
+		}
+		if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
+			return nil, err
+		}
+		if att.name == "spamming + escalation" {
+			if err := addFillers(m, 200); err != nil {
+				return nil, err
+			}
+		}
+		m.Run(200 * time.Millisecond)
+		logRec := &malware.AttackLog{}
+		if err := spawnUnderShell(m, att.build(logRec)); err != nil {
+			return nil, err
+		}
+		m.Run(2 * time.Second)
+		rows = append(rows, DemoRow{
+			Attack: att.name, Monitor: "HT-Ninja",
+			ActionDone: logRec.Acted(), Detected: htn.Detected(), Expected: true,
+		})
+	}
+	return rows, nil
+}
+
+// FormatDemos renders the attack demonstration matrix.
+func FormatDemos(rows []DemoRow) string {
+	var b strings.Builder
+	b.WriteString("Attacks vs monitors (Fig. 6 / §VIII-C):\n")
+	fmt.Fprintf(&b, "%-24s %-38s %-8s %-9s %-9s\n", "attack", "monitor", "acted", "detected", "expected")
+	for _, r := range rows {
+		mark := ""
+		if r.Detected != r.Expected {
+			mark = "  <-- MISMATCH vs paper"
+		}
+		fmt.Fprintf(&b, "%-24s %-38s %-8v %-9v %-9v%s\n",
+			r.Attack, r.Monitor, r.ActionDone, r.Detected, r.Expected, mark)
+	}
+	return b.String()
+}
+
+// ShowdownCell is one detection-probability measurement of §VIII-C2.
+type ShowdownCell struct {
+	Monitor string
+	// Param describes the cell (idle-process count or polling interval).
+	Param    string
+	Reps     int
+	Detected int
+}
+
+// Probability returns the detection rate.
+func (c ShowdownCell) Probability() float64 {
+	if c.Reps == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.Reps)
+}
+
+// ShowdownConfig parameterizes the detection-probability study.
+type ShowdownConfig struct {
+	// Reps is the attack repetitions per cell (paper: 300).
+	Reps int
+	// ONinjaSpam are the idle-process counts for the O-Ninja cells
+	// (0 reproduces the 31-process baseline).
+	ONinjaSpam []int
+	// HNinjaIntervals are the polling intervals for the H-Ninja cells.
+	HNinjaIntervals []time.Duration
+	Seed            int64
+	// Progress, when set, is called after each rep.
+	Progress func(done, total int)
+}
+
+func (c *ShowdownConfig) fillDefaults() {
+	if c.Reps <= 0 {
+		c.Reps = 300
+	}
+	if len(c.ONinjaSpam) == 0 {
+		c.ONinjaSpam = []int{0, 100, 200}
+	}
+	if len(c.HNinjaIntervals) == 0 {
+		c.HNinjaIntervals = []time.Duration{4 * time.Millisecond, 8 * time.Millisecond, 20 * time.Millisecond}
+	}
+}
+
+// baselineProcs is the paper's 31-process baseline population.
+const baselineProcs = 31
+
+// RunNinjaShowdown measures detection probabilities for the three Ninjas
+// against the repeated rootkit-combined attack (§VIII-C2).
+func RunNinjaShowdown(cfg ShowdownConfig) ([]ShowdownCell, error) {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var cells []ShowdownCell
+	total := cfg.Reps * (len(cfg.ONinjaSpam) + len(cfg.HNinjaIntervals) + 1)
+	done := 0
+	tick := func() {
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, total)
+		}
+	}
+
+	for _, spam := range cfg.ONinjaSpam {
+		cell := ShowdownCell{Monitor: "O-Ninja (0s interval)",
+			Param: fmt.Sprintf("%d idle procs", spam), Reps: cfg.Reps}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			detected, err := oneONinjaRep(cfg.Seed+int64(rep), spam, rng)
+			if err != nil {
+				return nil, err
+			}
+			if detected {
+				cell.Detected++
+			}
+			tick()
+		}
+		cells = append(cells, cell)
+	}
+
+	for _, interval := range cfg.HNinjaIntervals {
+		cell := ShowdownCell{Monitor: "H-Ninja",
+			Param: fmt.Sprintf("%v interval", interval), Reps: cfg.Reps}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			detected, err := oneHNinjaRep(cfg.Seed+int64(rep), interval, rng)
+			if err != nil {
+				return nil, err
+			}
+			if detected {
+				cell.Detected++
+			}
+			tick()
+		}
+		cells = append(cells, cell)
+	}
+
+	// HT-Ninja: one cell, same attack.
+	cell := ShowdownCell{Monitor: "HT-Ninja", Param: "active", Reps: cfg.Reps}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		detected, err := oneHTNinjaRep(cfg.Seed+int64(rep), rng)
+		if err != nil {
+			return nil, err
+		}
+		if detected {
+			cell.Detected++
+		}
+		tick()
+	}
+	cells = append(cells, cell)
+	return cells, nil
+}
+
+// oneONinjaRep runs one rootkit-combined attack against continuous O-Ninja.
+func oneONinjaRep(seed int64, spam int, rng *rand.Rand) (bool, error) {
+	m, _, err := newPEDVM(seed, false)
+	if err != nil {
+		return false, err
+	}
+	if err := addFillers(m, baselineProcs+spam); err != nil {
+		return false, err
+	}
+	// The attacker is a long-lived process (the user's shell of the paper's
+	// attack): present in every scan snapshot. Only its *escalated* state
+	// is transient — visible for the ~4ms between the exploit and the
+	// rootkit taking effect. It escalates at a random phase of the scan
+	// cycle after a warm-up, then stays hidden.
+	procs := baselineProcs + spam
+	cycle := time.Duration(procs) * oNinjaPerEntry
+	logRec := &malware.AttackLog{}
+	att := &malware.RootkitAttack{
+		Log:         logRec,
+		Rootkit:     &malware.Rootkit{RkName: "ivyl", Techniques: malware.TechDKOM | malware.TechHijack},
+		Delay:       2*cycle + time.Duration(rng.Int63n(int64(cycle))),
+		InstallTime: attackInstallTime,
+		Linger:      time.Hour,
+	}
+	if err := spawnUnderShell(m, att.Spec("attack")); err != nil {
+		return false, err
+	}
+	oninja := &ped.ONinja{Policy: ped.DefaultPolicy(), Interval: 0, PerEntryCost: oNinjaPerEntry}
+	if _, err := m.Kernel().CreateProcess(oninja.Spec(), nil); err != nil {
+		return false, err
+	}
+	m.RunUntil(8*cycle+2*time.Second, logRec.Hidden)
+	m.Run(2*cycle + 50*time.Millisecond) // let in-flight scans complete
+	return oninja.Detected(), nil
+}
+
+// oneHNinjaRep runs one rootkit-combined attack against polling H-Ninja.
+func oneHNinjaRep(seed int64, interval time.Duration, rng *rand.Rand) (bool, error) {
+	m, _, err := newPEDVM(seed, false)
+	if err != nil {
+		return false, err
+	}
+	intro := vmi.New(m, m.Kernel().Symbols())
+	hninja := &ped.HNinja{Policy: ped.DefaultPolicy(), Intro: intro, Clock: m.Clock(),
+		Interval: interval, Blocking: true}
+	if err := hninja.Start(); err != nil {
+		return false, err
+	}
+	m.Run(20 * time.Millisecond)
+	logRec := &malware.AttackLog{}
+	att := &malware.RootkitAttack{
+		Log:         logRec,
+		Rootkit:     &malware.Rootkit{RkName: "suckit", Techniques: malware.TechKmem | malware.TechDKOM},
+		Delay:       time.Duration(rng.Int63n(int64(interval + time.Millisecond))),
+		InstallTime: attackInstallTime,
+	}
+	if err := spawnUnderShell(m, att.Spec("attack")); err != nil {
+		return false, err
+	}
+	m.RunUntil(time.Second, logRec.Exited)
+	m.Run(2 * interval)
+	return hninja.Detected(), nil
+}
+
+// oneHTNinjaRep runs the same attack against HT-Ninja.
+func oneHTNinjaRep(seed int64, rng *rand.Rand) (bool, error) {
+	m, _, err := newPEDVM(seed, true)
+	if err != nil {
+		return false, err
+	}
+	intro := vmi.New(m, m.Kernel().Symbols())
+	htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(), View: m, Intro: intro})
+	if err != nil {
+		return false, err
+	}
+	if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
+		return false, err
+	}
+	m.Run(20 * time.Millisecond)
+	logRec := &malware.AttackLog{}
+	att := &malware.RootkitAttack{
+		Log:         logRec,
+		Rootkit:     &malware.Rootkit{RkName: "phalanx", Techniques: malware.TechKmem | malware.TechDKOM},
+		Delay:       time.Duration(rng.Int63n(int64(10 * time.Millisecond))),
+		InstallTime: attackInstallTime,
+	}
+	if err := spawnUnderShell(m, att.Spec("attack")); err != nil {
+		return false, err
+	}
+	m.RunUntil(time.Second, logRec.Exited)
+	return htn.Detected(), nil
+}
+
+// FormatShowdown renders the §VIII-C2 detection probabilities.
+func FormatShowdown(cells []ShowdownCell) string {
+	var b strings.Builder
+	b.WriteString("Detection probability vs the rootkit-combined attack (§VIII-C):\n")
+	fmt.Fprintf(&b, "%-26s %-18s %8s %10s %12s\n", "monitor", "parameter", "reps", "detected", "probability")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-26s %-18s %8d %10d %11.1f%%\n",
+			c.Monitor, c.Param, c.Reps, c.Detected, 100*c.Probability())
+	}
+	return b.String()
+}

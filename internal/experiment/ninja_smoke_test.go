@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNinjaDemosSmoke(t *testing.T) {
+	rows, err := RunPassiveAttackDemos(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatDemos(rows))
+	for _, r := range rows {
+		if r.Detected != r.Expected {
+			t.Errorf("%s vs %s: detected=%v want %v", r.Attack, r.Monitor, r.Detected, r.Expected)
+		}
+	}
+}
+
+func TestShowdownSmoke(t *testing.T) {
+	cells, err := RunNinjaShowdown(ShowdownConfig{Reps: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatShowdown(cells))
+}
+
+func TestSideChannelSmoke(t *testing.T) {
+	rows, err := RunSideChannelTable([]time.Duration{500 * time.Millisecond, time.Second}, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatSideChannel(rows))
+}

@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/inject"
+)
+
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	run := func(par int) *GOSHDResult {
+		r, err := RunGOSHDCampaign(GOSHDConfig{
+			SampleEvery:  48,
+			Workloads:    []string{"make -j2"},
+			Kernels:      []bool{false},
+			Persistences: []inject.Persistence{inject.Persistent},
+			Seed:         7,
+			Parallel:     par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	start := time.Now()
+	serial := run(1)
+	serialTime := time.Since(start)
+	start = time.Now()
+	parallel := run(2)
+	parTime := time.Since(start)
+	t.Logf("serial %v, parallel(2) %v", serialTime.Round(time.Millisecond), parTime.Round(time.Millisecond))
+	so, po := serial.Outcomes(), parallel.Outcomes()
+	for _, o := range inject.AllOutcomes() {
+		if so[o] != po[o] {
+			t.Fatalf("outcome %v: serial %d vs parallel %d", o, so[o], po[o])
+		}
+	}
+}

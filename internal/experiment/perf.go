@@ -1,0 +1,283 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/auditors/hrkd"
+	"hypertap/internal/auditors/ped"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/vmi"
+	"hypertap/internal/workload"
+)
+
+// The Fig. 7 performance study: UnixBench-class workloads run to completion
+// under different monitoring configurations; overhead is the relative
+// increase in virtual completion time over the unmonitored baseline.
+
+// MonitorSetup names one monitoring configuration of Fig. 7.
+type MonitorSetup struct {
+	// Name labels the configuration.
+	Name string
+	// Features is the interception set the configuration arms.
+	Features intercept.Features
+	// Attach registers the configuration's auditors.
+	Attach func(m *hv.Machine, engine *intercept.Engine) error
+	// LoggingStacks > 1 selects the separate-stacks ablation.
+	LoggingStacks int
+}
+
+// attachHRKD registers the HRKD auditor (asynchronous, as deployed).
+func attachHRKD(m *hv.Machine, engine *intercept.Engine) error {
+	intro := vmi.New(m, m.Kernel().Symbols())
+	det, err := hrkd.New(hrkd.Config{View: m, Counter: engine, Intro: intro})
+	if err != nil {
+		return err
+	}
+	return m.EM().Register(det, core.DeliverAsync, 0)
+}
+
+// attachHTNinja registers the HT-Ninja auditor (synchronous: its checks
+// block the audited operation).
+func attachHTNinja(m *hv.Machine, _ *intercept.Engine) error {
+	intro := vmi.New(m, m.Kernel().Symbols())
+	htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(), View: m, Intro: intro})
+	if err != nil {
+		return err
+	}
+	return m.EM().Register(htn, core.DeliverSync, 0)
+}
+
+// attachGOSHD registers the GOSHD auditor (asynchronous).
+func attachGOSHD(m *hv.Machine, _ *intercept.Engine) error {
+	det, err := goshd.New(goshd.Config{Clock: m.Clock(), VCPUs: m.NumVCPUs(), Threshold: 4 * time.Second})
+	if err != nil {
+		return err
+	}
+	if err := m.EM().Register(det, core.DeliverAsync, 0); err != nil {
+		return err
+	}
+	det.Start()
+	return nil
+}
+
+// hrkdFeatures is what HRKD's logging needs.
+func hrkdFeatures() intercept.Features {
+	return intercept.Features{ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true}
+}
+
+// htNinjaFeatures is what HT-Ninja's logging needs.
+func htNinjaFeatures() intercept.Features {
+	return intercept.Features{ProcessSwitch: true, ThreadSwitch: true, Syscalls: true}
+}
+
+// allFeatures is the union the shared logging channel arms when all three
+// auditors run — the point of unified logging is that this is NOT the sum of
+// three separate stacks.
+func allFeatures() intercept.Features {
+	return intercept.Features{ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true, Syscalls: true}
+}
+
+// Fig7Setups returns the paper's three monitored configurations.
+func Fig7Setups() []MonitorSetup {
+	return []MonitorSetup{
+		{Name: "HRKD only", Features: hrkdFeatures(), Attach: attachHRKD},
+		{Name: "HT-Ninja only", Features: htNinjaFeatures(), Attach: attachHTNinja},
+		{Name: "All three", Features: allFeatures(), Attach: func(m *hv.Machine, e *intercept.Engine) error {
+			if err := attachHRKD(m, e); err != nil {
+				return err
+			}
+			if err := attachHTNinja(m, e); err != nil {
+				return err
+			}
+			return attachGOSHD(m, e)
+		}},
+	}
+}
+
+// AblationSeparate returns the separate-logging-stacks ablation setup: the
+// same three auditors, but each with its own interception and logging stack.
+func AblationSeparate() MonitorSetup {
+	s := Fig7Setups()[2]
+	s.Name = "All three (separate stacks)"
+	s.LoggingStacks = 3
+	return s
+}
+
+// PerfRow is one benchmark's results across configurations.
+type PerfRow struct {
+	Benchmark string
+	// Baseline is the unmonitored virtual completion time.
+	Baseline time.Duration
+	// Times maps setup name to monitored completion time.
+	Times map[string]time.Duration
+}
+
+// Overhead returns a setup's relative slowdown.
+func (r *PerfRow) Overhead(setup string) float64 {
+	t, ok := r.Times[setup]
+	if !ok || r.Baseline == 0 {
+		return 0
+	}
+	return float64(t-r.Baseline) / float64(r.Baseline)
+}
+
+// PerfResult is the Fig. 7 reproduction.
+type PerfResult struct {
+	Rows   []PerfRow
+	Setups []string
+}
+
+// PerfConfig parameterizes the study.
+type PerfConfig struct {
+	// Scale multiplies workload sizes (measurement stability).
+	Scale int
+	// Seed drives guest jitter.
+	Seed int64
+	// Setups lists the monitoring configurations (default Fig7Setups).
+	Setups []MonitorSetup
+	// IncludeAblation adds the separate-stacks configuration.
+	IncludeAblation bool
+	// Progress, when set, is called per (benchmark, setup) completion.
+	Progress func(done, total int)
+}
+
+// RunPerfOverhead measures Fig. 7.
+func RunPerfOverhead(cfg PerfConfig) (*PerfResult, error) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	setups := cfg.Setups
+	if len(setups) == 0 {
+		setups = Fig7Setups()
+	}
+	if cfg.IncludeAblation {
+		setups = append(setups, AblationSeparate())
+	}
+
+	names := workloadNames(cfg.Scale)
+	result := &PerfResult{}
+	for _, s := range setups {
+		result.Setups = append(result.Setups, s.Name)
+	}
+	total := len(names) * (len(setups) + 1)
+	done := 0
+	step := func() {
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, total)
+		}
+	}
+
+	for idx, name := range names {
+		row := PerfRow{Benchmark: name, Times: make(map[string]time.Duration)}
+		base, err := runSuiteItem(idx, cfg.Scale, cfg.Seed, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: baseline %s: %w", name, err)
+		}
+		row.Baseline = base
+		step()
+		for i := range setups {
+			t, err := runSuiteItem(idx, cfg.Scale, cfg.Seed, &setups[i])
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s under %s: %w", name, setups[i].Name, err)
+			}
+			row.Times[setups[i].Name] = t
+			step()
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+// workloadNames returns the suite's benchmark names in order.
+func workloadNames(scale int) []string {
+	specs := workload.Suite(scale)
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// runSuiteItem runs one suite benchmark to completion under an optional
+// monitoring setup and returns its virtual completion time.
+func runSuiteItem(idx, scale int, seed int64, setup *MonitorSetup) (time.Duration, error) {
+	costs := hv.DefaultCosts()
+	if setup != nil && setup.LoggingStacks > 1 {
+		costs.LoggingStacks = setup.LoggingStacks
+	}
+	m, err := hv.New(hv.Config{
+		VCPUs:    2,
+		MemBytes: 96 << 20,
+		Costs:    costs,
+		Guest:    guest.Config{Seed: seed},
+	})
+	if err != nil {
+		return 0, err
+	}
+	var engine *intercept.Engine
+	if setup != nil {
+		engine, err = m.EnableMonitoring(setup.Features)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := m.Boot(); err != nil {
+		return 0, err
+	}
+	if setup != nil && setup.Attach != nil {
+		if err := setup.Attach(m, engine); err != nil {
+			return 0, err
+		}
+	}
+	spec := workload.Suite(scale)[idx]
+	return workload.RunToCompletion(m, spec, 30*time.Minute)
+}
+
+// FormatPerf renders Fig. 7 as an overhead table.
+func FormatPerf(r *PerfResult) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: performance overhead of HyperTap monitors (virtual time vs baseline)\n")
+	fmt.Fprintf(&b, "%-32s %12s", "benchmark", "baseline")
+	for _, s := range r.Setups {
+		fmt.Fprintf(&b, " %26s", s)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-32s %12v", row.Benchmark, row.Baseline.Round(time.Microsecond))
+		for _, s := range r.Setups {
+			fmt.Fprintf(&b, " %25.1f%%", 100*row.Overhead(s))
+		}
+		b.WriteString("\n")
+	}
+
+	// Category summary, as the paper's prose reports.
+	b.WriteString("\ncategory means:\n")
+	for _, cat := range []string{"CPU intensive", "Disk I/O intensive", "Context switching", "System call"} {
+		members := workload.Categories()[cat]
+		fmt.Fprintf(&b, "%-22s", cat)
+		for _, s := range r.Setups {
+			var sum float64
+			var n int
+			for _, row := range r.Rows {
+				for _, mem := range members {
+					if row.Benchmark == mem {
+						sum += row.Overhead(s)
+						n++
+					}
+				}
+			}
+			if n > 0 {
+				fmt.Fprintf(&b, " %25.1f%%", 100*sum/float64(n))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

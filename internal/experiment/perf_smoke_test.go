@@ -1,0 +1,11 @@
+package experiment
+
+import "testing"
+
+func TestPerfSmoke(t *testing.T) {
+	r, err := RunPerfOverhead(PerfConfig{Scale: 1, Seed: 2, IncludeAblation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatPerf(r))
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Detection-probability sweeps: the paper reports three points per monitor
+// (§VIII-C2); these harnesses trace the full curves — detection probability
+// as a function of H-Ninja's polling interval and of O-Ninja's scan
+// population — so the crossover structure behind the paper's numbers is
+// visible as a series rather than anecdotes.
+
+// SweepPoint is one (parameter, probability) sample.
+type SweepPoint struct {
+	// Param is the swept value: interval seconds for H-Ninja, process
+	// count for O-Ninja.
+	Param float64 `json:"param"`
+	// Label renders the parameter (e.g. "8ms", "131 procs").
+	Label string `json:"label"`
+	Reps  int    `json:"reps"`
+	// Detected is the number of detected attacks.
+	Detected int `json:"detected"`
+	// Probability is Detected/Reps.
+	Probability float64 `json:"probability"`
+}
+
+// SweepConfig parameterizes a sweep.
+type SweepConfig struct {
+	// Reps per point (default 100).
+	Reps int
+	Seed int64
+	// Progress, when set, is called per completed rep.
+	Progress func(done, total int)
+}
+
+// RunHNinjaIntervalSweep measures H-Ninja's detection probability across
+// polling intervals against the ~4ms rootkit-combined attack. The expected
+// analytic curve is min(1, window/interval) under uniform attack phase.
+func RunHNinjaIntervalSweep(intervals []time.Duration, cfg SweepConfig) ([]SweepPoint, error) {
+	if len(intervals) == 0 {
+		intervals = []time.Duration{
+			2 * time.Millisecond, 4 * time.Millisecond, 6 * time.Millisecond,
+			8 * time.Millisecond, 12 * time.Millisecond, 16 * time.Millisecond,
+			20 * time.Millisecond, 32 * time.Millisecond, 48 * time.Millisecond,
+		}
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := cfg.Reps * len(intervals)
+	done := 0
+	var points []SweepPoint
+	for _, interval := range intervals {
+		p := SweepPoint{Param: interval.Seconds(), Label: interval.String(), Reps: cfg.Reps}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			detected, err := oneHNinjaRep(cfg.Seed+int64(rep), interval, rng)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: H-Ninja sweep at %v: %w", interval, err)
+			}
+			if detected {
+				p.Detected++
+			}
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, total)
+			}
+		}
+		p.Probability = float64(p.Detected) / float64(p.Reps)
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// RunONinjaSpamSweep measures continuous O-Ninja's detection probability as
+// the process population grows — the spamming attack's dose-response curve.
+func RunONinjaSpamSweep(spamCounts []int, cfg SweepConfig) ([]SweepPoint, error) {
+	if len(spamCounts) == 0 {
+		spamCounts = []int{0, 25, 50, 100, 150, 200, 300}
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := cfg.Reps * len(spamCounts)
+	done := 0
+	var points []SweepPoint
+	for _, spam := range spamCounts {
+		p := SweepPoint{
+			Param: float64(baselineProcs + spam),
+			Label: fmt.Sprintf("%d procs", baselineProcs+spam),
+			Reps:  cfg.Reps,
+		}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			detected, err := oneONinjaRep(cfg.Seed+int64(rep), spam, rng)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: O-Ninja sweep at %d: %w", spam, err)
+			}
+			if detected {
+				p.Detected++
+			}
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, total)
+			}
+		}
+		p.Probability = float64(p.Detected) / float64(p.Reps)
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// FormatSweep renders a sweep as an aligned series with a bar sparkline.
+func FormatSweep(title string, points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %8s %10s %13s  %s\n", "param", "reps", "detected", "probability", "")
+	for _, p := range points {
+		bar := strings.Repeat("#", int(p.Probability*30+0.5))
+		fmt.Fprintf(&b, "%-12s %8d %10d %12.1f%%  %s\n", p.Label, p.Reps, p.Detected, 100*p.Probability, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,16 @@
+package experiment
+
+import "testing"
+
+func TestTableISmoke(t *testing.T) {
+	rows, err := RunTableI(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatTableI(rows))
+	for _, r := range rows {
+		if r.Observed == 0 {
+			t.Errorf("row %q observed no events", r.Event)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package gmem implements the simulated guest-physical memory of a virtual
+// machine.
+//
+// This memory is the shared substrate that makes the paper's semantic-gap
+// arguments honest in the reproduction: the guest kernel serializes its task
+// list, task_structs, thread_infos, TSS and syscall table into these bytes;
+// rootkits manipulate the same bytes (DKOM, hijacking); and both traditional
+// VMI (internal/vmi) and HyperTap's auditors decode them from outside. There
+// is no back channel — every out-of-VM view is derived from this array.
+package gmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hypertap/internal/arch"
+)
+
+// ErrOutOfRange reports an access beyond the end of guest-physical memory.
+var ErrOutOfRange = errors.New("gmem: guest-physical access out of range")
+
+// Memory is a flat, page-granular guest-physical memory.
+//
+// Memory is not safe for concurrent mutation; the deterministic simulator
+// core owns all writes. Concurrent readers (asynchronous auditors) must
+// snapshot through the hypervisor helper API, which serializes access.
+type Memory struct {
+	data []byte
+	// allocNext is the bump pointer used by the boot-time frame allocator.
+	allocNext arch.GPA
+}
+
+// New creates a guest-physical memory of the given size, which must be a
+// positive multiple of the page size.
+func New(size uint64) (*Memory, error) {
+	if size == 0 || size%arch.PageSize != 0 {
+		return nil, fmt.Errorf("gmem: size %d is not a positive multiple of the page size", size)
+	}
+	return &Memory{data: make([]byte, size)}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(size uint64) *Memory {
+	m, err := New(size)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+// Pages returns the number of guest-physical pages.
+func (m *Memory) Pages() uint64 { return uint64(len(m.data)) / arch.PageSize }
+
+// check validates an access of n bytes at pa.
+func (m *Memory) check(pa arch.GPA, n int) error {
+	if n < 0 || uint64(pa) > uint64(len(m.data)) || uint64(n) > uint64(len(m.data))-uint64(pa) {
+		return fmt.Errorf("%w: [%#x,+%d) size %#x", ErrOutOfRange, uint64(pa), n, len(m.data))
+	}
+	return nil
+}
+
+// Read copies len(dst) bytes starting at pa into dst.
+func (m *Memory) Read(pa arch.GPA, dst []byte) error {
+	if err := m.check(pa, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, m.data[pa:])
+	return nil
+}
+
+// Write copies src into memory starting at pa.
+func (m *Memory) Write(pa arch.GPA, src []byte) error {
+	if err := m.check(pa, len(src)); err != nil {
+		return err
+	}
+	copy(m.data[pa:], src)
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit value at pa.
+func (m *Memory) ReadU64(pa arch.GPA) (uint64, error) {
+	if err := m.check(pa, 8); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(m.data[pa:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit value at pa.
+func (m *Memory) WriteU64(pa arch.GPA, v uint64) error {
+	if err := m.check(pa, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(m.data[pa:], v)
+	return nil
+}
+
+// ReadU32 reads a little-endian 32-bit value at pa.
+func (m *Memory) ReadU32(pa arch.GPA) (uint32, error) {
+	if err := m.check(pa, 4); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(m.data[pa:]), nil
+}
+
+// WriteU32 writes a little-endian 32-bit value at pa.
+func (m *Memory) WriteU32(pa arch.GPA, v uint32) error {
+	if err := m.check(pa, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(m.data[pa:], v)
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes at pa.
+func (m *Memory) ReadCString(pa arch.GPA, max int) (string, error) {
+	if err := m.check(pa, max); err != nil {
+		return "", err
+	}
+	raw := m.data[pa : uint64(pa)+uint64(max)]
+	for i, b := range raw {
+		if b == 0 {
+			return string(raw[:i]), nil
+		}
+	}
+	return string(raw), nil
+}
+
+// WriteCString writes s NUL-terminated into a field of exactly size bytes,
+// truncating if necessary.
+func (m *Memory) WriteCString(pa arch.GPA, s string, size int) error {
+	if size <= 0 {
+		return fmt.Errorf("gmem: WriteCString with non-positive size %d", size)
+	}
+	if err := m.check(pa, size); err != nil {
+		return err
+	}
+	field := m.data[pa : uint64(pa)+uint64(size)]
+	for i := range field {
+		field[i] = 0
+	}
+	copy(field[:size-1], s)
+	return nil
+}
+
+// Zero clears n bytes starting at pa.
+func (m *Memory) Zero(pa arch.GPA, n int) error {
+	if err := m.check(pa, n); err != nil {
+		return err
+	}
+	region := m.data[pa : uint64(pa)+uint64(n)]
+	for i := range region {
+		region[i] = 0
+	}
+	return nil
+}
+
+// AllocPages reserves n contiguous pages from the boot-time bump allocator
+// and returns the base GPA of the reservation. The miniOS kernel uses this
+// for its static structures (page directories, kernel stacks, TSS pages,
+// task_struct arena). Freed memory is never reclaimed; experiments size
+// guest memory generously instead, which keeps allocation deterministic.
+func (m *Memory) AllocPages(n int) (arch.GPA, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("gmem: AllocPages(%d): count must be positive", n)
+	}
+	need := uint64(n) * arch.PageSize
+	if uint64(m.allocNext)+need > uint64(len(m.data)) {
+		return 0, fmt.Errorf("%w: allocating %d pages at %#x", ErrOutOfRange, n, uint64(m.allocNext))
+	}
+	base := m.allocNext
+	m.allocNext += arch.GPA(need)
+	return base, nil
+}
+
+// AllocReset rewinds the bump allocator; used when rebooting a VM between
+// fault-injection runs without reallocating the backing array.
+func (m *Memory) AllocReset() {
+	m.allocNext = 0
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// AllocatedBytes reports how much memory the bump allocator has handed out.
+func (m *Memory) AllocatedBytes() uint64 { return uint64(m.allocNext) }

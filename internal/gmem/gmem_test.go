@@ -1,0 +1,240 @@
+package gmem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hypertap/internal/arch"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		size    uint64
+		wantErr bool
+	}{
+		{"zero", 0, true},
+		{"unaligned", arch.PageSize + 1, true},
+		{"one page", arch.PageSize, false},
+		{"1MiB", 1 << 20, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.size)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%d) err = %v, wantErr %v", tt.size, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := MustNew(4 * arch.PageSize)
+	src := []byte("hello hypertap")
+	if err := m.Write(100, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := m.Read(100, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != string(src) {
+		t.Fatalf("round trip = %q, want %q", dst, src)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	buf := make([]byte, 16)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"read past end", func() error { return m.Read(arch.PageSize-8, buf) }},
+		{"write past end", func() error { return m.Write(arch.PageSize-8, buf) }},
+		{"read far", func() error { return m.Read(1<<40, buf) }},
+		{"u64 at end", func() error { _, err := m.ReadU64(arch.PageSize - 4); return err }},
+		{"u32 at end", func() error { _, err := m.ReadU32(arch.PageSize - 2); return err }},
+		{"write u64 at end", func() error { return m.WriteU64(arch.PageSize-4, 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.fn(); !errors.Is(err, ErrOutOfRange) {
+				t.Fatalf("err = %v, want ErrOutOfRange", err)
+			}
+		})
+	}
+}
+
+func TestU64U32RoundTrip(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	if err := m.WriteU64(8, 0xDEADBEEFCAFEF00D); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadU64(8)
+	if err != nil || v != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("ReadU64 = %#x, %v", v, err)
+	}
+	if err := m.WriteU32(16, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ReadU32(16)
+	if err != nil || w != 0x12345678 {
+		t.Fatalf("ReadU32 = %#x, %v", w, err)
+	}
+	// Little-endian layout check: low byte first.
+	b := make([]byte, 1)
+	if err := m.Read(16, b); err != nil || b[0] != 0x78 {
+		t.Fatalf("little-endian low byte = %#x, want 0x78", b[0])
+	}
+}
+
+func TestCStringRoundTrip(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	if err := m.WriteCString(0, "sshd", 16); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ReadCString(0, 16)
+	if err != nil || s != "sshd" {
+		t.Fatalf("ReadCString = %q, %v", s, err)
+	}
+}
+
+func TestCStringTruncates(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	if err := m.WriteCString(0, "a-very-long-process-name", 8); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ReadCString(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "a-very-" {
+		t.Fatalf("truncated string = %q, want %q", s, "a-very-")
+	}
+}
+
+func TestCStringNoTerminator(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	if err := m.Write(0, []byte{'a', 'b', 'c'}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ReadCString(0, 3)
+	if err != nil || s != "abc" {
+		t.Fatalf("ReadCString without NUL = %q, %v", s, err)
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	if err := m.Write(0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Zero(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := m.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || got[2] != 0 || got[3] != 4 {
+		t.Fatalf("after Zero = %v, want [1 0 0 4]", got)
+	}
+}
+
+func TestAllocPages(t *testing.T) {
+	m := MustNew(8 * arch.PageSize)
+	a, err := m.AllocPages(2)
+	if err != nil || a != 0 {
+		t.Fatalf("first alloc = %#x, %v", uint64(a), err)
+	}
+	b, err := m.AllocPages(1)
+	if err != nil || b != 2*arch.PageSize {
+		t.Fatalf("second alloc = %#x, %v", uint64(b), err)
+	}
+	if got := m.AllocatedBytes(); got != 3*arch.PageSize {
+		t.Fatalf("AllocatedBytes = %d", got)
+	}
+	if _, err := m.AllocPages(6); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	if _, err := m.AllocPages(0); err == nil {
+		t.Fatal("AllocPages(0) succeeded")
+	}
+}
+
+func TestAllocReset(t *testing.T) {
+	m := MustNew(2 * arch.PageSize)
+	if _, err := m.AllocPages(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteU64(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	m.AllocReset()
+	if got := m.AllocatedBytes(); got != 0 {
+		t.Fatalf("AllocatedBytes after reset = %d", got)
+	}
+	v, err := m.ReadU64(0)
+	if err != nil || v != 0 {
+		t.Fatalf("memory not cleared after reset: %#x %v", v, err)
+	}
+	if a, err := m.AllocPages(1); err != nil || a != 0 {
+		t.Fatalf("alloc after reset = %#x, %v", uint64(a), err)
+	}
+}
+
+// Property: writes never bleed outside their range.
+func TestPropertyWriteIsolation(t *testing.T) {
+	m := MustNew(16 * arch.PageSize)
+	f := func(off uint16, val uint64) bool {
+		pa := arch.GPA(off) + 8 // leave a guard byte region before
+		before, err := m.ReadU64(pa - 8)
+		if err != nil {
+			return false
+		}
+		after, err := m.ReadU64(pa + 8)
+		if err != nil {
+			return false
+		}
+		if err := m.WriteU64(pa, val); err != nil {
+			return false
+		}
+		b2, _ := m.ReadU64(pa - 8)
+		a2, _ := m.ReadU64(pa + 8)
+		v, _ := m.ReadU64(pa)
+		return b2 == before && a2 == after && v == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AllocPages returns page-aligned, non-overlapping regions.
+func TestPropertyAllocAligned(t *testing.T) {
+	m := MustNew(1 << 20)
+	var prevEnd arch.GPA
+	for i := 1; i <= 16; i++ {
+		a, err := m.AllocPages(i%4 + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(a)%arch.PageSize != 0 {
+			t.Fatalf("allocation %#x not page aligned", uint64(a))
+		}
+		if a < prevEnd {
+			t.Fatalf("allocation %#x overlaps previous end %#x", uint64(a), uint64(prevEnd))
+		}
+		prevEnd = a + arch.GPA((i%4+1)*arch.PageSize)
+	}
+}

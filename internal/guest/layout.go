@@ -1,0 +1,146 @@
+// Package guest implements "miniOS", the from-scratch guest operating system
+// that runs on the simulated HAV substrate.
+//
+// miniOS exists so that the paper's claims can be tested honestly: its
+// scheduler performs real context switches (CR3 loads and TSS.RSP0 stores
+// that trap through internal/hav), its system calls enter the kernel through
+// the architectural gates (INT 0x80 or SYSENTER), and its process bookkeeping
+// lives as byte-serialized kernel data structures inside simulated
+// guest-physical memory — the same bytes that traditional VMI decodes and
+// that rootkits manipulate. Nothing outside the VM can learn guest state
+// except by reading those bytes or observing VM Exits.
+package guest
+
+import "hypertap/internal/arch"
+
+// Kernel data-structure layouts, fixed by the "ABI" of miniOS. These offsets
+// play the role of the Linux kernel structure layouts in the paper: VMI tools
+// and HyperTap's state-derivation both hard-code them, and the paper's
+// argument is that attackers can feasibly change structure *values* but not
+// structure *layout*.
+const (
+	// TaskStructSize is the allocation size of one task_struct.
+	TaskStructSize = 128
+
+	// task_struct field offsets.
+	TaskOffPID       = 0  // u32 process id
+	TaskOffTGID      = 4  // u32 thread-group id
+	TaskOffUID       = 8  // u32 real user id
+	TaskOffEUID      = 12 // u32 effective user id
+	TaskOffGID       = 16 // u32 group id
+	TaskOffState     = 20 // u32 TaskState
+	TaskOffFlags     = 24 // u32 task flags (TaskFlag*)
+	TaskOffCR3       = 32 // u64 page-directory base (GPA)
+	TaskOffParent    = 40 // u64 GVA of parent task_struct
+	TaskOffListNext  = 48 // u64 GVA of next task_struct in the task list
+	TaskOffListPrev  = 56 // u64 GVA of previous task_struct in the task list
+	TaskOffStack     = 64 // u64 GVA of the kernel stack base (thread_info)
+	TaskOffComm      = 72 // [16]byte NUL-terminated command name
+	TaskCommLen      = 16
+	TaskOffStartTime = 88 // u64 virtual ns at creation
+)
+
+// Task flags stored in task_struct.flags.
+const (
+	// TaskFlagKernelThread marks tasks with no user address space of their
+	// own; they borrow the previous task's CR3, like Linux kthreads.
+	TaskFlagKernelThread uint32 = 1 << 0
+)
+
+// thread_info layout. As in pre-4.9 Linux, thread_info sits at the base of
+// the kernel stack, so it is derivable from any kernel stack pointer with
+// rsp &^ (KStackSize-1) — the derivation chain TR → TSS.RSP0 → thread_info →
+// task_struct the paper builds on.
+const (
+	// KStackSize is the kernel stack size per thread; must be a power of
+	// two for the thread_info derivation to work.
+	KStackSize = 2 * arch.PageSize
+	// ThreadInfoOffTask is the u64 GVA of the owning task_struct.
+	ThreadInfoOffTask = 0
+	// ThreadInfoOffCPU is the u32 CPU the thread last ran on.
+	ThreadInfoOffCPU = 8
+	// ThreadInfoOffFlags is a u32 of thread flags.
+	ThreadInfoOffFlags = 12
+	// ThreadInfoSize is the bytes reserved at the stack base.
+	ThreadInfoSize = 16
+)
+
+// ThreadInfoBase derives the thread_info address from any pointer into a
+// kernel stack (architectural invariant: stacks are KStackSize-aligned).
+func ThreadInfoBase(sp arch.GVA) arch.GVA {
+	return sp &^ (KStackSize - 1)
+}
+
+// TaskState is the scheduling state stored in task_struct.state.
+type TaskState uint32
+
+// Task states (values chosen to match the serialized format).
+const (
+	// StateRunning covers both "on CPU" and "runnable" (as in Linux's
+	// TASK_RUNNING); /proc reports R for it.
+	StateRunning TaskState = iota + 1
+	// StateSleeping is a timed or interruptible sleep; /proc reports S.
+	StateSleeping
+	// StateBlocked waits on a lock or I/O; /proc reports D.
+	StateBlocked
+	// StateZombie has exited and awaits reaping; /proc reports Z.
+	StateZombie
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case StateRunning:
+		return "R"
+	case StateSleeping:
+		return "S"
+	case StateBlocked:
+		return "D"
+	case StateZombie:
+		return "Z"
+	default:
+		return "?"
+	}
+}
+
+// Symbols is the miniOS "System.map": the guest-virtual addresses of the
+// kernel objects that out-of-VM tools (VMI, HyperTap state derivation) need.
+// The kernel publishes it at boot; in the paper's setting these come from the
+// distribution's symbol file.
+type Symbols struct {
+	// InitTask is the GVA of the task_struct of pid 0 (the head of the
+	// circular task list).
+	InitTask arch.GVA
+	// SyscallTable is the GVA of the system-call dispatch table, an array
+	// of SyscallCount u64 handler addresses.
+	SyscallTable arch.GVA
+	// TSSBase is the GVA of the TSS array, one TSSSize-byte entry per CPU.
+	TSSBase arch.GVA
+	// KernelTextBase is the GVA where kernel handler "code" addresses are
+	// allocated from.
+	KernelTextBase arch.GVA
+	// SysenterEntry is the GVA of the fast-syscall entry stub.
+	SysenterEntry arch.GVA
+}
+
+// Guest-physical memory geography. The kernel direct-maps the low
+// KernelWindowPages pages of guest-physical memory into the kernel half of
+// every address space: kernel GVA = KernelBase + GPA. Page directories and
+// user pages are allocated above the window.
+const (
+	// KernelWindowPages is the number of low guest-physical pages covered
+	// by the kernel direct map (half the page-directory entries).
+	KernelWindowPages = arch.PDEntries / 2
+	// KernelWindowBytes is the direct-map size in bytes.
+	KernelWindowBytes = KernelWindowPages * arch.PageSize
+)
+
+// KVAToGPA converts a kernel direct-map virtual address to guest-physical.
+func KVAToGPA(v arch.GVA) arch.GPA {
+	return arch.GPA(v - arch.KernelBase)
+}
+
+// GPAToKVA converts a low guest-physical address to its kernel direct-map
+// virtual address.
+func GPAToKVA(p arch.GPA) arch.GVA {
+	return arch.GVA(p) + arch.KernelBase
+}

@@ -1,0 +1,109 @@
+package guest
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/hav"
+)
+
+func spinBody() Program {
+	return &LoopProgram{Body: []Step{Compute(2 * time.Millisecond)}}
+}
+
+func TestThreadGroupSharesAddressSpace(t *testing.T) {
+	vm := newTestVM(t, 1, nil)
+	leader, err := vm.k.CreateProcess(&ProcSpec{Comm: "app", UID: 1000, Program: spinBody()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := vm.k.CreateProcess(&ProcSpec{
+		Comm: "app", UID: 1000, Program: spinBody(), ThreadOfPID: leader.PID, Pinned: true, CPUAffinity: 0,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worker.PDBA != leader.PDBA {
+		t.Fatalf("thread PDBA %#x != leader PDBA %#x", uint64(worker.PDBA), uint64(leader.PDBA))
+	}
+	if worker.TGID != leader.TGID || worker.PID == leader.PID {
+		t.Fatalf("tgid/pid bookkeeping: worker tgid=%d pid=%d leader tgid=%d pid=%d",
+			worker.TGID, worker.PID, leader.TGID, leader.PID)
+	}
+	if worker.RSP0 == leader.RSP0 {
+		t.Fatal("threads share a kernel stack (RSP0 must be unique per thread)")
+	}
+}
+
+func TestSiblingThreadSwitchSkipsCR3(t *testing.T) {
+	vm := newTestVM(t, 1, nil)
+	vm.ctrls.CR3LoadExiting = true
+	// Write-protect nothing: count raw CR_ACCESS exits vs context switches.
+	leader, err := vm.k.CreateProcess(&ProcSpec{
+		Comm: "app", UID: 1000, Program: spinBody(), Pinned: true, CPUAffinity: 0,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.k.CreateProcess(&ProcSpec{
+		Comm: "app", UID: 1000, Program: spinBody(), ThreadOfPID: leader.PID, Pinned: true, CPUAffinity: 0,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	vm.run(200 * time.Millisecond)
+
+	switches := vm.k.Stats().ContextSwitches
+	crExits := vm.exitCount(hav.ExitCRAccess)
+	if switches < 10 {
+		t.Fatalf("only %d switches", switches)
+	}
+	// With both runnable tasks in one address space, most switches are
+	// sibling switches: thread dispatches without CR3 loads.
+	if crExits >= int(switches)/2 {
+		t.Fatalf("CR_ACCESS exits (%d) not rare relative to switches (%d): sibling switches reloaded CR3",
+			crExits, switches)
+	}
+}
+
+func TestAddressSpaceDiesWithLastThread(t *testing.T) {
+	vm := newTestVM(t, 1, nil)
+	leader, err := vm.k.CreateProcess(&ProcSpec{
+		Comm: "app", UID: 1000,
+		Program: NewStepList(Compute(3 * time.Millisecond)),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := vm.k.CreateProcess(&ProcSpec{
+		Comm: "app", UID: 1000, ThreadOfPID: leader.PID,
+		Program: NewStepList(Compute(30 * time.Millisecond)),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdba := leader.PDBA
+	vm.run(15 * time.Millisecond) // leader exits, worker lives
+	if leader.State != StateZombie {
+		t.Fatal("leader still alive")
+	}
+	if _, ok := vm.k.Translate(pdba, arch.KernelBase); !ok {
+		t.Fatal("address space destroyed while a sibling thread lives")
+	}
+	vm.run(100 * time.Millisecond) // worker exits too
+	if worker.State != StateZombie {
+		t.Fatal("worker still alive")
+	}
+	if _, ok := vm.k.Translate(pdba, arch.KernelBase); ok {
+		t.Fatal("address space survived its last thread")
+	}
+}
+
+func TestThreadOfInvalidLeader(t *testing.T) {
+	vm := newTestVM(t, 1, nil)
+	if _, err := vm.k.CreateProcess(&ProcSpec{
+		Comm: "orphan", UID: 1, Program: spinBody(), ThreadOfPID: 424242,
+	}, nil); err == nil {
+		t.Fatal("thread of a missing leader accepted")
+	}
+}

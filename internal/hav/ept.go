@@ -1,0 +1,114 @@
+package hav
+
+import (
+	"fmt"
+
+	"hypertap/internal/arch"
+)
+
+// Perm is a set of EPT access permissions for one guest-physical page.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+
+	// PermAll grants every access; it is the default for mapped pages.
+	PermAll = PermRead | PermWrite | PermExec
+	// PermNone denies every access; used for MMIO trapping.
+	PermNone Perm = 0
+)
+
+func (p Perm) String() string {
+	b := [3]byte{'-', '-', '-'}
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b[:])
+}
+
+// Allows reports whether the permission set admits the access type.
+func (p Perm) Allows(a Access) bool {
+	switch a {
+	case AccessRead:
+		return p&PermRead != 0
+	case AccessWrite:
+		return p&PermWrite != 0
+	case AccessExec:
+		return p&PermExec != 0
+	default:
+		return false
+	}
+}
+
+// EPT is the Extended Page Table of one VM: the hardware-walked structure
+// translating guest-physical addresses to host memory, with per-page access
+// permissions. In this model translation is identity (guest-physical memory
+// is directly backed by an internal/gmem array), so the EPT's observable role
+// is the one the paper exploits: restricting permissions on selected pages so
+// that guest accesses trap.
+//
+// Only pages with restricted permissions are stored; every other page is
+// mapped with PermAll. This mirrors how the paper's monitors touch only the
+// TSS pages, the syscall-entry page and MMIO ranges.
+type EPT struct {
+	pages     uint64
+	restrict_ map[uint64]Perm
+}
+
+// NewEPT creates an EPT covering the given number of guest-physical pages.
+func NewEPT(pages uint64) *EPT {
+	return &EPT{pages: pages, restrict_: make(map[uint64]Perm)}
+}
+
+// Pages returns the number of guest-physical pages covered.
+func (e *EPT) Pages() uint64 { return e.pages }
+
+// SetPerm restricts (or restores) the permissions of the page containing
+// gpa. Setting PermAll removes the restriction entry.
+func (e *EPT) SetPerm(gpa arch.GPA, p Perm) error {
+	pn := arch.PageNumber(gpa)
+	if pn >= e.pages {
+		return fmt.Errorf("hav: EPT SetPerm beyond guest memory: page %d of %d", pn, e.pages)
+	}
+	if p == PermAll {
+		delete(e.restrict_, pn)
+	} else {
+		e.restrict_[pn] = p
+	}
+	return nil
+}
+
+// Perm returns the effective permissions of the page containing gpa.
+func (e *EPT) Perm(gpa arch.GPA) Perm {
+	if pn := arch.PageNumber(gpa); pn < e.pages {
+		if p, ok := e.restrict_[pn]; ok {
+			return p
+		}
+		return PermAll
+	}
+	return PermNone
+}
+
+// Check reports whether an access of the given type at gpa is permitted.
+// A false result means the access raises an EPT_VIOLATION VM Exit.
+func (e *EPT) Check(gpa arch.GPA, a Access) bool {
+	return e.Perm(gpa).Allows(a)
+}
+
+// RestrictedPages returns the number of pages with non-default permissions,
+// a measure of monitoring footprint.
+func (e *EPT) RestrictedPages() int { return len(e.restrict_) }
+
+// Reset removes all permission restrictions (VM reboot).
+func (e *EPT) Reset() {
+	e.restrict_ = make(map[uint64]Perm)
+}

@@ -1,0 +1,312 @@
+package hv
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+)
+
+// TestRHCIntegration wires a live machine's EM sampler to a Remote Health
+// Checker over real TCP: heartbeats flow while the VM runs, and stopping the
+// VM (a wedged monitoring stack) raises an alert.
+func TestRHCIntegration(t *testing.T) {
+	m, _ := newMonitoredVM(t, nil)
+	addLooper(t, m, "w", guest.DoSyscall(guest.SysGetPID), guest.Compute(time.Millisecond))
+
+	srv, err := core.NewRHCServer("127.0.0.1:0", 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := core.DialRHC(m.Name(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	m.EM().SetSampler(32, client.Send)
+
+	m.Run(500 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Received() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Received() == 0 {
+		t.Fatal("RHC received no heartbeats from a live VM")
+	}
+	hb, ok := srv.LastHeartbeat(m.Name())
+	if !ok || hb.Seq == 0 {
+		t.Fatalf("last heartbeat = %+v, ok=%v", hb, ok)
+	}
+
+	// The monitoring stack stops (we simply stop running the VM): silence
+	// must raise an alert in wall time.
+	select {
+	case alert := <-srv.Alerts():
+		if alert.VM != m.Name() {
+			t.Fatalf("alert for %q", alert.VM)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no RHC alert after the VM stopped")
+	}
+}
+
+// TestAsyncAuditingContainer runs an auditor in its own goroutine (the
+// container deployment of the paper), draining the EM concurrently with the
+// simulator loop.
+func TestAsyncAuditingContainer(t *testing.T) {
+	m, _ := newMonitoredVM(t, nil)
+	addLooper(t, m, "w", guest.DoSyscall(guest.SysWrite, 1, 64), guest.Compute(time.Millisecond))
+
+	var mu sync.Mutex
+	seen := 0
+	aud := &core.AuditorFunc{AuditorName: "container", EventMask: core.MaskOf(core.EvSyscall),
+		Fn: func(ev *core.Event) {
+			mu.Lock()
+			seen++
+			mu.Unlock()
+		}}
+	if err := m.EM().Register(aud, core.DeliverAsync, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				m.EM().Dispatch(0)
+				return
+			default:
+				m.EM().Dispatch(64)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	m.Run(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if seen == 0 {
+		t.Fatal("container auditor saw no events")
+	}
+}
+
+// TestWindowsProfileGuest boots the Windows-profile guest: INT 0x2E gate,
+// same invariants, same interception.
+func TestWindowsProfileGuest(t *testing.T) {
+	m, counts := newMonitoredVM(t, func(c *Config) {
+		c.Guest.Profile = guest.ProfileWindows
+	})
+	if m.Kernel().Config().Mech != guest.MechInt2E {
+		t.Fatalf("windows profile gate = %v, want int2e", m.Kernel().Config().Mech)
+	}
+	addLooper(t, m, "taskmgr", guest.DoSyscall(guest.SysListProcs), guest.Compute(time.Millisecond))
+	m.Run(100 * time.Millisecond)
+	if *counts[core.EvSyscall] == 0 {
+		t.Fatal("no syscall interception through the INT 0x2E gate")
+	}
+	if *counts[core.EvThreadSwitch] == 0 {
+		t.Fatal("no thread-switch interception on the Windows profile")
+	}
+}
+
+// TestTaskListConsistencyUnderChurn randomly spawns and kills processes and
+// checks after every burst that the serialized guest task list exactly
+// matches the kernel's ground truth — the invariant every OS-invariant view
+// depends on.
+func TestTaskListConsistencyUnderChurn(t *testing.T) {
+	m, _ := newMonitoredVM(t, nil)
+	rng := rand.New(rand.NewSource(99))
+	var live []*guest.Task
+
+	for round := 0; round < 25; round++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) > 0:
+			task, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+				Comm: "churn", UID: 1000,
+				Program: &guest.LoopProgram{Body: []guest.Step{
+					guest.Compute(time.Duration(rng.Intn(3)+1) * time.Millisecond),
+					guest.Sleep(time.Millisecond),
+				}},
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, task)
+		default:
+			idx := rng.Intn(len(live))
+			victim := live[idx]
+			live = append(live[:idx], live[idx+1:]...)
+			if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+				Comm: "killer", UID: 0,
+				Program: guest.NewStepList(guest.DoSyscall(guest.SysKill, uint64(victim.PID))),
+			}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Run(time.Duration(rng.Intn(20)+5) * time.Millisecond)
+
+		// Compare the serialized list (via a fresh walk through guest
+		// memory) against ground truth, ignoring transient killers that
+		// may still be live.
+		entries := listPIDs(t, m)
+		truth := make(map[int]bool)
+		for pid, n := 0, m.Kernel().LiveTaskCount(); pid < 100000 && len(truth) < n; pid++ {
+			if task := m.Kernel().FindTask(pid); task != nil && task.State != guest.StateZombie {
+				truth[task.PID] = true
+			}
+		}
+		if len(entries) != len(truth) {
+			t.Fatalf("round %d: list has %d entries, ground truth %d", round, len(entries), len(truth))
+		}
+		for pid := range entries {
+			if !truth[pid] {
+				t.Fatalf("round %d: list contains pid %d not in ground truth", round, pid)
+			}
+		}
+	}
+}
+
+// listPIDs walks the serialized task list from guest memory.
+func listPIDs(t *testing.T, m *Machine) map[int]bool {
+	t.Helper()
+	sym := m.Kernel().Symbols()
+	cr3 := m.Regs(0).CR3
+	out := make(map[int]bool)
+	head := sym.InitTask
+	cur := head
+	for i := 0; i < 8192; i++ {
+		pid, err := m.ReadU32GVA(cr3, cur+guest.TaskOffPID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[int(pid)] = true
+		next, err := m.ReadU64GVA(cr3, cur+guest.TaskOffListNext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = arch.GVA(next)
+		if cur == head {
+			return out
+		}
+	}
+	t.Fatal("task list did not close")
+	return nil
+}
+
+// TestDeterminismAcrossRuns: two identical machines produce identical
+// virtual histories — the property every experiment's reproducibility
+// depends on.
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		m, _ := newMonitoredVM(t, func(c *Config) { c.Guest.Seed = 31 })
+		addLooper(t, m, "a", guest.DoSyscall(guest.SysWrite, 1, 64), guest.Compute(time.Millisecond))
+		addLooper(t, m, "b", guest.Compute(2*time.Millisecond), guest.Sleep(time.Millisecond))
+		m.Run(2 * time.Second)
+		st := m.Kernel().Stats()
+		return st.Syscalls, st.ContextSwitches, m.TotalExits()
+	}
+	s1, c1, e1 := run()
+	s2, c2, e2 := run()
+	if s1 != s2 || c1 != c2 || e1 != e2 {
+		t.Fatalf("nondeterminism: (%d,%d,%d) vs (%d,%d,%d)", s1, c1, e1, s2, c2, e2)
+	}
+}
+
+// TestMultiVMSharedRHC reproduces the deployment of the paper's Fig. 2: two
+// user VMs, each with its own monitoring stack, heartbeating to one Remote
+// Health Checker on an "external machine". One VM's stack wedges; the RHC
+// names the silent VM while the healthy one keeps beating.
+func TestMultiVMSharedRHC(t *testing.T) {
+	srv, err := core.NewRHCServer("127.0.0.1:0", 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	newVM := func(name string) *Machine {
+		m, err := New(Config{Name: name, VCPUs: 2, MemBytes: 64 << 20, Guest: guest.Config{Seed: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feat := allFeatures()
+		if _, err := m.EnableMonitoring(feat); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		client, err := core.DialRHC(name, srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = client.Close() })
+		m.EM().SetSampler(16, client.Send)
+		if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+			Comm: "w", UID: 1,
+			Program: &guest.LoopProgram{Body: []guest.Step{
+				guest.DoSyscall(guest.SysGetPID), guest.Compute(time.Millisecond),
+			}},
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	vmA, vmB := newVM("vm-a"), newVM("vm-b")
+	vmA.Run(200 * time.Millisecond)
+	vmB.Run(200 * time.Millisecond)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		_, okA := srv.LastHeartbeat("vm-a")
+		_, okB := srv.LastHeartbeat("vm-b")
+		if okA && okB {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := srv.LastHeartbeat("vm-a"); !ok {
+		t.Fatal("no heartbeats from vm-a")
+	}
+	if _, ok := srv.LastHeartbeat("vm-b"); !ok {
+		t.Fatal("no heartbeats from vm-b")
+	}
+
+	// vm-a's monitoring stack wedges (we stop driving it); vm-b stays
+	// healthy, beating in wall time from a background driver.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				vmB.Run(50 * time.Millisecond)
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	select {
+	case alert := <-srv.Alerts():
+		if alert.VM != "vm-a" {
+			t.Fatalf("alert names %q, want the wedged vm-a", alert.VM)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no alert for the wedged VM")
+	}
+}

@@ -1,0 +1,307 @@
+// Package trace records HyperTap's event stream for offline analysis and
+// replays it through auditors later — the Ether lineage the paper builds on
+// (§II: "Ether utilizes the VM Exit mechanism provided by HAV to record
+// traces of guest VM execution for offline malware analysis"; HyperTap turns
+// the same events into online monitors, and this package closes the loop by
+// supporting both).
+//
+// A Recorder is just another auditor on the shared logging channel, so
+// recording coexists with live monitors at no extra interception cost —
+// unified logging again. Traces are JSON Lines: one self-describing record
+// per event, stable across versions of the in-memory Event struct.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/vclock"
+)
+
+// Record is the serialized form of one core.Event.
+type Record struct {
+	Type string `json:"type"`
+	VCPU int    `json:"vcpu"`
+	Seq  uint64 `json:"seq"`
+	// TimeNS is the virtual timestamp in nanoseconds.
+	TimeNS int64 `json:"time_ns"`
+
+	// Architectural snapshot.
+	RIP  uint64   `json:"rip,omitempty"`
+	RSP  uint64   `json:"rsp,omitempty"`
+	CR3  uint64   `json:"cr3"`
+	TR   uint64   `json:"tr"`
+	CPL  uint8    `json:"cpl"`
+	GPRs []uint64 `json:"gprs,omitempty"`
+
+	// Decoded payload (event-type specific, omitted when zero).
+	PDBA        uint64    `json:"pdba,omitempty"`
+	RSP0        uint64    `json:"rsp0,omitempty"`
+	SyscallNr   uint32    `json:"syscall_nr,omitempty"`
+	SyscallArgs [4]uint64 `json:"syscall_args,omitempty"`
+	Port        uint16    `json:"port,omitempty"`
+	IsWrite     bool      `json:"is_write,omitempty"`
+	IOValue     uint32    `json:"io_value,omitempty"`
+	Vector      uint8     `json:"vector,omitempty"`
+	MSR         uint32    `json:"msr,omitempty"`
+	MSRValue    uint64    `json:"msr_value,omitempty"`
+	GPA         uint64    `json:"gpa,omitempty"`
+	GVA         uint64    `json:"gva,omitempty"`
+}
+
+// eventTypeByName reverses core.EventType.String().
+var eventTypeByName = func() map[string]core.EventType {
+	m := make(map[string]core.EventType)
+	for _, t := range core.AllEventTypes() {
+		m[t.String()] = t
+	}
+	return m
+}()
+
+// FromEvent converts an event to its serialized form.
+func FromEvent(ev *core.Event) Record {
+	rec := Record{
+		Type:        ev.Type.String(),
+		VCPU:        ev.VCPU,
+		Seq:         ev.Seq,
+		TimeNS:      int64(ev.Time),
+		RIP:         uint64(ev.Regs.RIP),
+		RSP:         uint64(ev.Regs.RSP),
+		CR3:         uint64(ev.Regs.CR3),
+		TR:          uint64(ev.Regs.TR),
+		CPL:         uint8(ev.Regs.CPL),
+		PDBA:        uint64(ev.PDBA),
+		RSP0:        uint64(ev.RSP0),
+		SyscallNr:   ev.SyscallNr,
+		SyscallArgs: ev.SyscallArgs,
+		Port:        ev.Port,
+		IsWrite:     ev.IsWrite,
+		IOValue:     ev.IOValue,
+		Vector:      ev.Vector,
+		MSR:         uint32(ev.MSR),
+		MSRValue:    ev.MSRValue,
+		GPA:         uint64(ev.GPA),
+		GVA:         uint64(ev.GVA),
+	}
+	rec.GPRs = make([]uint64, arch.NumGPR)
+	copy(rec.GPRs, ev.Regs.GPRs[:])
+	return rec
+}
+
+// ToEvent converts a record back into an event.
+func (r *Record) ToEvent() (core.Event, error) {
+	ty, ok := eventTypeByName[r.Type]
+	if !ok {
+		return core.Event{}, fmt.Errorf("trace: unknown event type %q", r.Type)
+	}
+	ev := core.Event{
+		Type:        ty,
+		VCPU:        r.VCPU,
+		Seq:         r.Seq,
+		Time:        time.Duration(r.TimeNS),
+		PDBA:        arch.GPA(r.PDBA),
+		RSP0:        arch.GVA(r.RSP0),
+		SyscallNr:   r.SyscallNr,
+		SyscallArgs: r.SyscallArgs,
+		Port:        r.Port,
+		IsWrite:     r.IsWrite,
+		IOValue:     r.IOValue,
+		Vector:      r.Vector,
+		MSR:         arch.MSR(r.MSR),
+		MSRValue:    r.MSRValue,
+		GPA:         arch.GPA(r.GPA),
+		GVA:         arch.GVA(r.GVA),
+	}
+	ev.Regs.RIP = arch.GVA(r.RIP)
+	ev.Regs.RSP = arch.GVA(r.RSP)
+	ev.Regs.CR3 = arch.GPA(r.CR3)
+	ev.Regs.TR = arch.GVA(r.TR)
+	ev.Regs.CPL = arch.Ring(r.CPL)
+	copy(ev.Regs.GPRs[:], r.GPRs)
+	return ev, nil
+}
+
+// Recorder is an auditor that appends every delivered event to a JSONL
+// stream. Register it asynchronously so tracing never blocks the guest.
+type Recorder struct {
+	mask core.EventMask
+
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	count uint64
+	err   error
+}
+
+// NewRecorder builds a recorder capturing the masked event types.
+func NewRecorder(w io.Writer, mask core.EventMask) *Recorder {
+	if w == nil {
+		panic("trace: NewRecorder requires a writer")
+	}
+	bw := bufio.NewWriter(w)
+	return &Recorder{mask: mask, bw: bw, enc: json.NewEncoder(bw)}
+}
+
+var _ core.Auditor = (*Recorder)(nil)
+
+// Name implements core.Auditor.
+func (r *Recorder) Name() string { return "trace-recorder" }
+
+// Mask implements core.Auditor.
+func (r *Recorder) Mask() core.EventMask { return r.mask }
+
+// HandleEvent implements core.Auditor.
+func (r *Recorder) HandleEvent(ev *core.Event) {
+	rec := FromEvent(ev)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if err := r.enc.Encode(&rec); err != nil {
+		r.err = err
+		return
+	}
+	r.count++
+}
+
+// Flush drains buffered records to the underlying writer.
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.bw.Flush()
+}
+
+// Count returns the number of recorded events.
+func (r *Recorder) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Err returns the first write/encode error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Read decodes an entire trace.
+func Read(rd io.Reader) ([]core.Event, error) {
+	var out []core.Event
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", len(out), err)
+		}
+		ev, err := rec.ToEvent()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// Replay feeds a recorded trace through auditors offline, in recorded order,
+// respecting each auditor's mask. It returns the number of events delivered.
+func Replay(rd io.Reader, auditors ...core.Auditor) (int, error) {
+	events, err := Read(rd)
+	if err != nil {
+		return 0, err
+	}
+	delivered := 0
+	for i := range events {
+		for _, a := range auditors {
+			if a.Mask().Has(events[i].Type) {
+				a.HandleEvent(&events[i])
+				delivered++
+			}
+		}
+	}
+	return delivered, nil
+}
+
+// ReplayWithClock replays a trace while advancing a virtual clock to each
+// event's timestamp, so timer-driven auditors (GOSHD's silence watchdogs)
+// work offline exactly as they do online. tail optionally advances the clock
+// past the last event; leave it zero for hang analysis — the end of a finite
+// trace is not evidence of silence, while a real in-trace hang still shows
+// as a gap because timer interrupts and surviving vCPUs keep producing
+// events past it.
+func ReplayWithClock(rd io.Reader, clock *vclock.Clock, tail time.Duration, auditors ...core.Auditor) (int, error) {
+	events, err := Read(rd)
+	if err != nil {
+		return 0, err
+	}
+	delivered := 0
+	for i := range events {
+		clock.AdvanceTo(events[i].Time)
+		for _, a := range auditors {
+			if a.Mask().Has(events[i].Type) {
+				a.HandleEvent(&events[i])
+				delivered++
+			}
+		}
+	}
+	if tail > 0 {
+		clock.Advance(tail)
+	}
+	return delivered, nil
+}
+
+// Summary aggregates a trace for quick offline triage.
+type Summary struct {
+	Events   int                 `json:"events"`
+	ByType   map[string]int      `json:"by_type"`
+	ByVCPU   map[int]int         `json:"by_vcpu"`
+	Syscalls map[uint32]int      `json:"syscalls,omitempty"`
+	Span     time.Duration       `json:"span_ns"`
+	FirstSeq uint64              `json:"first_seq"`
+	LastSeq  uint64              `json:"last_seq"`
+	AddrSet  map[uint64]struct{} `json:"-"`
+}
+
+// Summarize scans a trace once and aggregates it.
+func Summarize(rd io.Reader) (*Summary, error) {
+	events, err := Read(rd)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{
+		ByType:   make(map[string]int),
+		ByVCPU:   make(map[int]int),
+		Syscalls: make(map[uint32]int),
+		AddrSet:  make(map[uint64]struct{}),
+	}
+	var first, last time.Duration
+	for i := range events {
+		ev := &events[i]
+		s.Events++
+		s.ByType[ev.Type.String()]++
+		s.ByVCPU[ev.VCPU]++
+		if ev.Type == core.EvSyscall {
+			s.Syscalls[ev.SyscallNr]++
+		}
+		if ev.Type == core.EvProcessSwitch {
+			s.AddrSet[uint64(ev.PDBA)] = struct{}{}
+		}
+		if i == 0 {
+			first, s.FirstSeq = ev.Time, ev.Seq
+		}
+		last, s.LastSeq = ev.Time, ev.Seq
+	}
+	s.Span = last - first
+	return s, nil
+}

@@ -1,0 +1,240 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/inject"
+	"hypertap/internal/trace"
+	"hypertap/internal/vclock"
+)
+
+// record a short monitored session and return the trace bytes.
+func recordSession(t *testing.T, poison bool) ([]byte, *hv.Machine) {
+	t.Helper()
+	m, err := hv.New(hv.Config{VCPUs: 2, MemBytes: 64 << 20, Guest: guest.Config{Seed: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EnableMonitoring(intercept.Features{
+		ProcessSwitch: true, ThreadSwitch: true, Syscalls: true, IO: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf, core.MaskAll)
+	if err := m.EM().Register(rec, core.DeliverAsync, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if poison {
+		var site guest.SiteID
+		for _, s := range m.Kernel().Sites() {
+			if s.Kind == guest.FaultMissingRelease && s.Path == guest.SysWrite {
+				site = s.ID
+				break
+			}
+		}
+		plan, err := inject.NewPlan(inject.Fault{Site: site, Persistence: inject.Persistent}, m.Clock().Now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Kernel().SetFaultPlan(plan)
+	}
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: "w", UID: 1,
+		Program: &guest.LoopProgram{Body: []guest.Step{
+			guest.DoSyscall(guest.SysWrite, 1, 128),
+			guest.Compute(time.Millisecond),
+		}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	dur := 2 * time.Second
+	if poison {
+		dur = 12 * time.Second
+	}
+	m.Run(dur)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if rec.Count() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	return buf.Bytes(), m
+}
+
+func TestRecordReadRoundTrip(t *testing.T) {
+	data, _ := recordSession(t, false)
+	events, err := trace.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Sequence numbers are monotone and timestamps nondecreasing per vCPU.
+	lastTime := map[int]time.Duration{}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("sequence not monotone at %d", i)
+		}
+	}
+	for _, ev := range events {
+		if ev.Time < lastTime[ev.VCPU] {
+			t.Fatalf("vcpu%d time went backwards", ev.VCPU)
+		}
+		lastTime[ev.VCPU] = ev.Time
+	}
+	// Syscall events kept their decoded payloads.
+	var sawWrite bool
+	for _, ev := range events {
+		if ev.Type == core.EvSyscall && guest.Syscall(ev.SyscallNr) == guest.SysWrite {
+			sawWrite = true
+			if ev.SyscallArgs[1] != 128 {
+				t.Fatalf("write args lost: %v", ev.SyscallArgs)
+			}
+			if ev.Regs.CR3 == 0 || ev.Regs.TR == 0 {
+				t.Fatal("architectural snapshot lost")
+			}
+		}
+	}
+	if !sawWrite {
+		t.Fatal("no write syscalls in trace")
+	}
+}
+
+func TestEventRecordConversionExact(t *testing.T) {
+	ev := core.Event{
+		Type: core.EvSyscall, VCPU: 1, Seq: 42, Time: 123456 * time.Microsecond,
+		SyscallNr: 4, SyscallArgs: [4]uint64{1, 2, 3, 4},
+	}
+	ev.Regs.CR3 = 0x9000
+	ev.Regs.TR = 0x801000
+	ev.Regs.SetGPR(3, 7)
+	rec := trace.FromEvent(&ev)
+	back, err := rec.ToEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != ev.Type || back.Seq != ev.Seq || back.Time != ev.Time ||
+		back.SyscallArgs != ev.SyscallArgs || back.Regs.CR3 != ev.Regs.CR3 ||
+		back.Regs.GPR(3) != 7 {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, ev)
+	}
+}
+
+func TestToEventUnknownType(t *testing.T) {
+	rec := trace.Record{Type: "no-such-event"}
+	if _, err := rec.ToEvent(); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	if _, err := trace.Read(strings.NewReader("{broken")); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestReplayThroughAuditor(t *testing.T) {
+	data, _ := recordSession(t, false)
+	var syscalls int
+	sink := &core.AuditorFunc{AuditorName: "sink", EventMask: core.MaskOf(core.EvSyscall),
+		Fn: func(*core.Event) { syscalls++ }}
+	delivered, err := trace.Replay(bytes.NewReader(data), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered == 0 || syscalls == 0 {
+		t.Fatalf("replay delivered %d / %d syscalls", delivered, syscalls)
+	}
+}
+
+// TestOfflineHangDetection is the package's reason to exist: GOSHD, driven
+// by a recorded trace and a replayed clock, finds the hang after the fact.
+func TestOfflineHangDetection(t *testing.T) {
+	data, m := recordSession(t, true)
+	// Ground truth: the live VM really hung (switch counters stalled).
+	_ = m
+
+	clock := &vclock.Clock{}
+	det, err := goshd.New(goshd.Config{Clock: clock, VCPUs: 2, Threshold: 4 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Start()
+	if _, err := trace.ReplayWithClock(bytes.NewReader(data), clock, 0, det); err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Alarms()) == 0 {
+		t.Fatal("offline GOSHD found no hang in a trace of a hung guest")
+	}
+
+	// Control: a healthy trace stays quiet offline.
+	healthy, _ := recordSession(t, false)
+	clock2 := &vclock.Clock{}
+	det2, err := goshd.New(goshd.Config{Clock: clock2, VCPUs: 2, Threshold: 4 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det2.Start()
+	if _, err := trace.ReplayWithClock(bytes.NewReader(healthy), clock2, 0, det2); err != nil {
+		t.Fatal(err)
+	}
+	if len(det2.Alarms()) != 0 {
+		t.Fatalf("offline false alarms on a healthy trace: %v", det2.Alarms())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	data, _ := recordSession(t, false)
+	s, err := trace.Summarize(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events == 0 || s.Span <= 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.ByType["syscall"] == 0 || s.ByVCPU[0] == 0 {
+		t.Fatalf("summary aggregation empty: %+v", s)
+	}
+	if s.Syscalls[uint32(guest.SysWrite)] == 0 {
+		t.Fatal("write syscalls not aggregated")
+	}
+	if len(s.AddrSet) == 0 {
+		t.Fatal("no address spaces observed")
+	}
+}
+
+func TestRecorderMaskFilters(t *testing.T) {
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf, core.MaskOf(core.EvSyscall))
+	if !rec.Mask().Has(core.EvSyscall) || rec.Mask().Has(core.EvHalt) {
+		t.Fatal("mask wrong")
+	}
+	if rec.Name() == "" {
+		t.Fatal("no name")
+	}
+}
+
+func TestNewRecorderNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil writer accepted")
+		}
+	}()
+	trace.NewRecorder(nil, core.MaskAll)
+}

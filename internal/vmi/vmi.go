@@ -1,0 +1,190 @@
+// Package vmi implements traditional Virtual Machine Introspection: decoding
+// the guest OS's internal data structures from outside the VM, in the style
+// of VMWatcher/XenAccess.
+//
+// This is deliberately the *OS-invariant* view the paper criticizes: it
+// trusts the guest kernel's task list and structure contents. It cannot be
+// tampered with from outside the VM, but software inside the VM — a DKOM
+// rootkit unlinking a task_struct — changes exactly the bytes this package
+// decodes. HyperTap's auditors use it only as the untrusted side of a
+// cross-view comparison, never as the root of trust.
+package vmi
+
+import (
+	"fmt"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+)
+
+// Introspector decodes guest kernel structures through the hypervisor's
+// guest-memory helper API plus an OS profile (structure layouts and the
+// kernel symbol map, as a real deployment gets from System.map and debug
+// info).
+type Introspector struct {
+	view core.GuestView
+	sym  guest.Symbols
+}
+
+// New creates an introspector for one VM.
+func New(view core.GuestView, sym guest.Symbols) *Introspector {
+	if view == nil {
+		panic("vmi: nil GuestView")
+	}
+	return &Introspector{view: view, sym: sym}
+}
+
+// walkRoot finds a CR3 that can translate kernel addresses. Kernel mappings
+// are shared by every live address space, so any vCPU's current CR3 works.
+func (in *Introspector) walkRoot() (arch.GPA, error) {
+	for i := 0; i < in.view.NumVCPUs(); i++ {
+		cr3 := in.view.Regs(i).CR3
+		if cr3 == 0 {
+			continue
+		}
+		if _, ok := in.view.TranslateGVA(cr3, in.sym.InitTask); ok {
+			return cr3, nil
+		}
+	}
+	return 0, fmt.Errorf("vmi: no vCPU holds a kernel-mapping CR3")
+}
+
+// maxTasks bounds list walks against corrupted (or adversarial) lists.
+const maxTasks = 8192
+
+// ListProcesses walks the guest task list exactly as in-guest /proc does and
+// decodes each task_struct. A DKOM-hidden task will be absent; that is the
+// point of using this view for cross-validation.
+func (in *Introspector) ListProcesses() ([]guest.ProcEntry, error) {
+	cr3, err := in.walkRoot()
+	if err != nil {
+		return nil, err
+	}
+	var out []guest.ProcEntry
+	head := in.sym.InitTask
+	cur := head
+	for i := 0; i < maxTasks; i++ {
+		entry, err := in.decodeTask(cr3, cur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry)
+		next, err := in.view.ReadU64GVA(cr3, cur+guest.TaskOffListNext)
+		if err != nil {
+			return nil, err
+		}
+		cur = arch.GVA(next)
+		if cur == head {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("vmi: task list did not close after %d entries", maxTasks)
+}
+
+// decodeTask reads one serialized task_struct.
+func (in *Introspector) decodeTask(cr3 arch.GPA, gva arch.GVA) (guest.ProcEntry, error) {
+	pid, err := in.view.ReadU32GVA(cr3, gva+guest.TaskOffPID)
+	if err != nil {
+		return guest.ProcEntry{}, fmt.Errorf("vmi: decode task at %#x: %w", uint64(gva), err)
+	}
+	uid, _ := in.view.ReadU32GVA(cr3, gva+guest.TaskOffUID)
+	euid, _ := in.view.ReadU32GVA(cr3, gva+guest.TaskOffEUID)
+	gid, _ := in.view.ReadU32GVA(cr3, gva+guest.TaskOffGID)
+	state, _ := in.view.ReadU32GVA(cr3, gva+guest.TaskOffState)
+	comm, _ := in.view.ReadCStringGVA(cr3, gva+guest.TaskOffComm, guest.TaskCommLen)
+
+	var ppid int
+	var parentUID uint32
+	if parentGVA, err := in.view.ReadU64GVA(cr3, gva+guest.TaskOffParent); err == nil && parentGVA != 0 {
+		if pp, err := in.view.ReadU32GVA(cr3, arch.GVA(parentGVA)+guest.TaskOffPID); err == nil {
+			ppid = int(pp)
+		}
+		if pu, err := in.view.ReadU32GVA(cr3, arch.GVA(parentGVA)+guest.TaskOffUID); err == nil {
+			parentUID = pu
+		}
+	}
+	return guest.ProcEntry{
+		PID: int(pid), PPID: ppid, UID: uid, EUID: euid, GID: gid,
+		ParentUID: parentUID, State: guest.TaskState(state), Comm: comm,
+	}, nil
+}
+
+// TaskFlags reads the flags field of a task found by pid (list walk).
+func (in *Introspector) TaskFlags(pid int) (uint32, error) {
+	cr3, err := in.walkRoot()
+	if err != nil {
+		return 0, err
+	}
+	gva, err := in.findTaskGVA(cr3, pid)
+	if err != nil {
+		return 0, err
+	}
+	return in.view.ReadU32GVA(cr3, gva+guest.TaskOffFlags)
+}
+
+// findTaskGVA locates a task_struct by pid via list walk.
+func (in *Introspector) findTaskGVA(cr3 arch.GPA, pid int) (arch.GVA, error) {
+	head := in.sym.InitTask
+	cur := head
+	for i := 0; i < maxTasks; i++ {
+		got, err := in.view.ReadU32GVA(cr3, cur+guest.TaskOffPID)
+		if err != nil {
+			return 0, err
+		}
+		if int(got) == pid {
+			return cur, nil
+		}
+		next, err := in.view.ReadU64GVA(cr3, cur+guest.TaskOffListNext)
+		if err != nil {
+			return 0, err
+		}
+		cur = arch.GVA(next)
+		if cur == head {
+			break
+		}
+	}
+	return 0, fmt.Errorf("vmi: pid %d not in task list", pid)
+}
+
+// DeriveTaskFromRSP0 performs HyperTap's architectural state derivation: a
+// kernel stack pointer (from TSS.RSP0, an architectural invariant) is masked
+// to its thread_info, which points at the task_struct. Unlike ListProcesses
+// this does NOT depend on the (attackable) task list — a DKOM-hidden task is
+// still found, because the running thread's stack cannot lie.
+func (in *Introspector) DeriveTaskFromRSP0(cr3 arch.GPA, rsp0 arch.GVA) (guest.ProcEntry, error) {
+	tiBase := guest.ThreadInfoBase(rsp0)
+	taskGVA, err := in.view.ReadU64GVA(cr3, tiBase+guest.ThreadInfoOffTask)
+	if err != nil {
+		return guest.ProcEntry{}, fmt.Errorf("vmi: thread_info at %#x: %w", uint64(tiBase), err)
+	}
+	if taskGVA == 0 {
+		return guest.ProcEntry{}, fmt.Errorf("vmi: thread_info at %#x has nil task pointer", uint64(tiBase))
+	}
+	return in.decodeTask(cr3, arch.GVA(taskGVA))
+}
+
+// DeriveCurrentTask derives the task running on a vCPU right now from pure
+// architectural state: TR → TSS.RSP0 → thread_info → task_struct.
+func (in *Introspector) DeriveCurrentTask(vcpu int) (guest.ProcEntry, error) {
+	regs := in.view.Regs(vcpu)
+	if regs.CR3 == 0 || regs.TR == 0 {
+		return guest.ProcEntry{}, fmt.Errorf("vmi: vcpu %d has no TR/CR3 yet", vcpu)
+	}
+	rsp0, err := in.view.ReadU64GVA(regs.CR3, regs.TR+arch.TSSOffRSP0)
+	if err != nil {
+		return guest.ProcEntry{}, fmt.Errorf("vmi: read TSS.RSP0: %w", err)
+	}
+	return in.DeriveTaskFromRSP0(regs.CR3, arch.GVA(rsp0))
+}
+
+// TaskStructGVAFromRSP0 returns the task_struct address for a kernel stack
+// pointer (used by auditors that need follow-up field reads).
+func (in *Introspector) TaskStructGVAFromRSP0(cr3 arch.GPA, rsp0 arch.GVA) (arch.GVA, error) {
+	tiBase := guest.ThreadInfoBase(rsp0)
+	taskGVA, err := in.view.ReadU64GVA(cr3, tiBase+guest.ThreadInfoOffTask)
+	if err != nil || taskGVA == 0 {
+		return 0, fmt.Errorf("vmi: no task pointer at thread_info %#x", uint64(tiBase))
+	}
+	return arch.GVA(taskGVA), nil
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"hypertap/internal/guest"
+)
+
+// Campaign workloads: endless variants of the §VIII-A workloads. The
+// fault-injection campaign does not wait for completion — it needs the
+// workload to keep exercising kernel paths so faults activate and hangs
+// propagate — so these loop until the VM stops scheduling them.
+
+// CampaignWorkloadNames lists the paper's four campaign workloads.
+func CampaignWorkloadNames() []string {
+	return []string{"hanoi", "make -j1", "make -j2", "http"}
+}
+
+// CampaignProcs returns the processes of a named campaign workload.
+// The http workload additionally needs request injection; see HTTPLoadHint.
+func CampaignProcs(name string) ([]*guest.ProcSpec, error) {
+	switch name {
+	case "hanoi":
+		// Tower of Hanoi: recursion = CPU with stack bookkeeping writes.
+		return []*guest.ProcSpec{{
+			Comm: "hanoi", UID: 1000,
+			Program: &guest.LoopProgram{Body: []guest.Step{
+				guest.Compute(2 * time.Millisecond),
+				guest.DoSyscall(guest.SysWrite, 1, 64),
+				guest.Compute(2 * time.Millisecond),
+				guest.DoSyscall(guest.SysLog, 1),
+			}},
+		}}, nil
+	case "make -j1":
+		return compileJobs(1), nil
+	case "make -j2":
+		return compileJobs(2), nil
+	case "http":
+		spec := HTTPServer()
+		// Two worker processes sharing an accept lock, plus logging.
+		procs := spec.Procs
+		procs = append(procs, &guest.ProcSpec{
+			Comm: "httpd-log", UID: 33,
+			Program: &guest.LoopProgram{Body: []guest.Step{
+				guest.Sleep(50 * time.Millisecond),
+				guest.DoSyscall(guest.SysOpen, 9),
+				guest.DoSyscall(guest.SysWrite, 3, 256),
+				guest.DoSyscall(guest.SysClose, 3),
+			}},
+		})
+		return procs, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown campaign workload %q", name)
+	}
+}
+
+// buildLock is the user-level lock serializing the compile jobs' shared
+// build directory — the lu of the paper's preemption discussion (§VIII-A3).
+const buildLock = 7777
+
+// compileJobs builds n endless compile tasks with ext3/block traffic and a
+// shared user lock, so one job hanging in the kernel while holding the lock
+// drags the others down exactly as the paper describes.
+func compileJobs(n int) []*guest.ProcSpec {
+	var procs []*guest.ProcSpec
+	for j := 0; j < n; j++ {
+		body := []guest.Step{
+			guest.DoSyscall(guest.SysOpen, uint64(j)),
+			guest.DoSyscall(guest.SysRead, 3, 65536),
+			guest.Compute(2 * time.Millisecond),
+		}
+		if n > 1 {
+			body = append(body,
+				guest.DoSyscall(guest.SysULock, buildLock),
+				guest.DoSyscall(guest.SysWrite, 3, 32768),
+				guest.DoSyscall(guest.SysUUnlock, buildLock),
+			)
+		} else {
+			body = append(body, guest.DoSyscall(guest.SysWrite, 3, 32768))
+		}
+		body = append(body,
+			guest.DoSyscall(guest.SysClose, 3),
+			guest.DoSyscall(guest.SysLog, 1),
+		)
+		procs = append(procs, &guest.ProcSpec{
+			Comm: fmt.Sprintf("cc-%d", j),
+			UID:  1000,
+			// Jobs spread across vCPUs so the shared build lock's hang
+			// cascade crosses CPUs as in the paper's §VIII-A3 example.
+			Pinned:      true,
+			CPUAffinity: j % 2,
+			Program:     &guest.LoopProgram{Body: body},
+		})
+	}
+	return procs
+}
+
+// HTTPLoadHint describes the request injection the http campaign workload
+// needs: one request on HTTPPort roughly every Interval.
+type HTTPLoadHint struct {
+	Port     uint16
+	Interval time.Duration
+}
+
+// CampaignLoad returns the load-injection hint for a workload (nil if the
+// workload is self-driving).
+func CampaignLoad(name string) *HTTPLoadHint {
+	if name == "http" {
+		return &HTTPLoadHint{Port: HTTPPort, Interval: 5 * time.Millisecond}
+	}
+	return nil
+}

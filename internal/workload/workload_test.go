@@ -1,0 +1,197 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+	"hypertap/internal/workload"
+)
+
+func bootVM(t *testing.T) *hv.Machine {
+	t.Helper()
+	m, err := hv.New(hv.Config{VCPUs: 2, MemBytes: 96 << 20, Guest: guest.Config{Seed: 17}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSuiteItemsComplete(t *testing.T) {
+	for _, spec := range workload.Suite(1) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m := bootVM(t)
+			d, err := workload.RunToCompletion(m, spec, 10*time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d <= 0 {
+				t.Fatalf("completion time = %v", d)
+			}
+			if spec.Status.Units() == 0 {
+				t.Fatal("no work units recorded")
+			}
+		})
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		m := bootVM(t)
+		d, err := workload.RunToCompletion(m, workload.SyscallOverhead(1), time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed gave different completion times: %v vs %v", a, b)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	m := bootVM(t)
+	if _, err := workload.Launch(m, workload.Spec{Name: "empty"}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestRunToCompletionTimeout(t *testing.T) {
+	m := bootVM(t)
+	spec := workload.Dhrystone(50) // far too big for the budget
+	if _, err := workload.RunToCompletion(m, spec, 10*time.Millisecond); err == nil {
+		t.Fatal("timeout not reported")
+	}
+}
+
+func TestHTTPServeLoad(t *testing.T) {
+	m := bootVM(t)
+	spec := workload.HTTPServer()
+	if _, err := workload.Launch(m, spec); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10 * time.Millisecond)
+	replies, took := workload.ServeHTTPLoad(m, 20, 2*time.Millisecond, 5*time.Second)
+	if replies != 20 {
+		t.Fatalf("replies = %d, want 20", replies)
+	}
+	if took <= 0 {
+		t.Fatal("no virtual time consumed")
+	}
+	if spec.Status.Units() == 0 {
+		t.Fatal("server recorded no units")
+	}
+}
+
+func TestCampaignProcs(t *testing.T) {
+	for _, name := range workload.CampaignWorkloadNames() {
+		procs, err := workload.CampaignProcs(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(procs) == 0 {
+			t.Fatalf("%s: no processes", name)
+		}
+	}
+	if _, err := workload.CampaignProcs("no-such"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if hint := workload.CampaignLoad("http"); hint == nil || hint.Port != workload.HTTPPort {
+		t.Fatal("http load hint broken")
+	}
+	if workload.CampaignLoad("hanoi") != nil {
+		t.Fatal("hanoi needs no load hint")
+	}
+}
+
+func TestCampaignWorkloadsKeepRunning(t *testing.T) {
+	for _, name := range workload.CampaignWorkloadNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := bootVM(t)
+			procs, err := workload.CampaignProcs(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range procs {
+				if _, err := m.Kernel().CreateProcess(p, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if hint := workload.CampaignLoad(name); hint != nil {
+				var pump func(now time.Duration)
+				pump = func(now time.Duration) {
+					m.InjectNetRequest(hint.Port, 1)
+					m.Clock().AfterFunc(hint.Interval, pump)
+				}
+				m.Clock().AfterFunc(hint.Interval, pump)
+			}
+			m.Run(2 * time.Second)
+			mid := m.Kernel().Stats().Syscalls
+			m.Run(2 * time.Second)
+			if got := m.Kernel().Stats().Syscalls; got <= mid {
+				t.Fatalf("workload stalled: syscalls %d -> %d", mid, got)
+			}
+		})
+	}
+}
+
+func TestHanoiAndMakeComplete(t *testing.T) {
+	m := bootVM(t)
+	if _, err := workload.RunToCompletion(m, workload.Hanoi(14), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	m2 := bootVM(t)
+	d1, err := workload.RunToCompletion(m2, workload.MakeJ(1, 8), 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := bootVM(t)
+	d2, err := workload.RunToCompletion(m3, workload.MakeJ(2, 8), 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 >= d1 {
+		t.Fatalf("make -j2 (%v) not faster than make -j1 (%v) on 2 vCPUs", d2, d1)
+	}
+}
+
+func TestSSHDAnswersProbes(t *testing.T) {
+	m := bootVM(t)
+	if _, err := m.Kernel().CreateProcess(workload.SSHD(), nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		m.InjectNetRequest(workload.SSHDPort, uint64(i))
+		m.Run(20 * time.Millisecond)
+	}
+	replies := 0
+	for _, r := range m.Kernel().DrainNetReplies() {
+		if r.Port == workload.SSHDPort {
+			replies++
+		}
+	}
+	if replies != 3 {
+		t.Fatalf("sshd replies = %d, want 3", replies)
+	}
+}
+
+func TestCategoriesCoverSuite(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range workload.Suite(1) {
+		names[s.Name] = true
+	}
+	for cat, members := range workload.Categories() {
+		for _, mem := range members {
+			if !names[mem] {
+				t.Errorf("category %s references unknown benchmark %q", cat, mem)
+			}
+		}
+	}
+}
