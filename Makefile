@@ -1,0 +1,34 @@
+# HyperTap reproduction — build and verification entry points.
+#
+# `make check` is the tier-1 gate: vet, formatting, and the race-checked
+# core + telemetry suites (the packages on the event hot path).
+
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench-telemetry
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check: vet fmt race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/telemetry/...
+
+# Regenerate the telemetry micro-benchmark numbers (see results/BENCH_telemetry.json).
+bench-telemetry:
+	$(GO) test -run xxx -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkEventPublish$$|BenchmarkEventPublishInstrumented' -benchtime 2s .

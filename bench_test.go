@@ -17,6 +17,7 @@ import (
 	"hypertap/internal/guest"
 	"hypertap/internal/hv"
 	"hypertap/internal/inject"
+	"hypertap/internal/telemetry"
 	"hypertap/internal/workload"
 )
 
@@ -236,6 +237,45 @@ func BenchmarkEventPublish(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ev.Seq = uint64(i)
 		em.Publish(ev)
+	}
+}
+
+// BenchmarkEventPublishInstrumented is BenchmarkEventPublish with telemetry
+// enabled — the pair bounds the instrumentation overhead on the hot path
+// (budget: ≤10%).
+func BenchmarkEventPublishInstrumented(b *testing.B) {
+	em := core.NewMultiplexer()
+	em.EnableTelemetry(telemetry.NewRegistry())
+	for _, name := range []string{"a", "b", "c"} {
+		aud := &core.AuditorFunc{AuditorName: name, EventMask: core.MaskAll, Fn: func(*core.Event) {}}
+		if err := em.Register(aud, core.DeliverSync, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ev := &core.Event{Type: core.EvSyscall, SyscallNr: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i)
+		em.Publish(ev)
+	}
+}
+
+// BenchmarkCounterInc measures the telemetry hot path: one atomic add.
+func BenchmarkCounterInc(b *testing.B) {
+	c := telemetry.NewRegistry().Counter("bench_total")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures a latency record: bucket index, two
+// atomic adds, and a max CAS.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := telemetry.NewRegistry().Histogram("bench_seconds")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%4096) * time.Microsecond)
 	}
 }
 

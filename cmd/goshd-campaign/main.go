@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"hypertap/internal/experiment"
+	"hypertap/internal/telemetry"
+	"hypertap/internal/telemetry/httpexport"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "concurrent injection runs (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		telAddr  = flag.String("telemetry-addr", "", "serve live campaign /metrics and /healthz on this address")
 	)
 	flag.Parse()
 
@@ -42,6 +45,15 @@ func run() error {
 	}
 
 	cfg := experiment.GOSHDConfig{SampleEvery: sample, Seed: *seed, Parallel: *parallel}
+	if *telAddr != "" {
+		cfg.Telemetry = telemetry.NewRegistry()
+		srv, err := httpexport.Serve(*telAddr, cfg.Telemetry, nil)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintln(os.Stderr, "telemetry listening on", srv.Addr())
+	}
 	if !*quiet {
 		start := time.Now()
 		cfg.Progress = func(done, total int) {

@@ -17,6 +17,8 @@ import (
 	"hypertap/internal/core/intercept"
 	"hypertap/internal/guest"
 	"hypertap/internal/hv"
+	"hypertap/internal/telemetry"
+	"hypertap/internal/telemetry/httpexport"
 	"hypertap/internal/trace"
 	"hypertap/internal/vmi"
 	"hypertap/internal/workload"
@@ -37,11 +39,17 @@ func run() error {
 		tailEvent = flag.Int("tail", 20, "print the first N decoded events per type")
 		withRHC   = flag.Bool("rhc", false, "start a Remote Health Checker and heartbeat to it over TCP")
 		traceFile = flag.String("trace", "", "record the event stream to a JSONL trace file")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 	)
 	flag.Parse()
 
-	cfg := hv.Config{VCPUs: *vcpus, Guest: guest.Config{Seed: *seed}}
+	var reg *telemetry.Registry
+	if *telAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+
+	cfg := hv.Config{VCPUs: *vcpus, Guest: guest.Config{Seed: *seed}, Telemetry: reg}
 	if *sysenter {
 		cfg.Guest.Mech = guest.MechSysenter
 	}
@@ -91,6 +99,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if reg != nil {
+		det.EnableTelemetry(reg)
+	}
 	if err := m.EM().Register(det, core.DeliverAsync, 0); err != nil {
 		return err
 	}
@@ -104,6 +115,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if reg != nil {
+		rk.EnableTelemetry(reg)
+	}
 	if err := m.EM().Register(rk, core.DeliverAsync, 0); err != nil {
 		return err
 	}
@@ -112,17 +126,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if reg != nil {
+		htn.EnableTelemetry(reg)
+	}
 	if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
 		return err
 	}
 
 	// Optional RHC over real TCP.
+	var health httpexport.Health
 	if *withRHC {
 		srv, err := core.NewRHCServer("127.0.0.1:0", 500*time.Millisecond)
 		if err != nil {
 			return err
 		}
 		defer func() { _ = srv.Close() }()
+		if reg != nil {
+			srv.EnableTelemetry(reg)
+		}
+		health = srv.Health
 		client, err := core.DialRHC(m.Name(), srv.Addr())
 		if err != nil {
 			return err
@@ -135,6 +157,17 @@ func run() error {
 				fmt.Printf("RHC ALERT: %s silent for %v\n", alert.VM, alert.Silence.Round(time.Millisecond))
 			}
 		}()
+	}
+
+	// Live observability endpoint: Prometheus-text /metrics plus an RHC-backed
+	// /healthz (degraded when heartbeats stall; always healthy without -rhc).
+	if *telAddr != "" {
+		tsrv, err := httpexport.Serve(*telAddr, reg, health)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = tsrv.Close() }()
+		fmt.Println("telemetry listening on", tsrv.Addr())
 	}
 
 	// A demo workload.

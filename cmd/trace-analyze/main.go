@@ -5,6 +5,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -12,10 +13,29 @@ import (
 	"time"
 
 	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/core"
 	"hypertap/internal/guest"
+	"hypertap/internal/telemetry"
 	"hypertap/internal/trace"
 	"hypertap/internal/vclock"
 )
+
+// writeMetrics dumps the registry snapshot as indented JSON.
+func writeMetrics(dst string, reg *telemetry.Registry) error {
+	w := os.Stdout
+	if dst != "-" {
+		f, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	snap := reg.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&snap)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -28,6 +48,7 @@ func run() error {
 	var (
 		vcpus     = flag.Int("vcpus", 2, "vCPU count of the traced VM")
 		threshold = flag.Duration("threshold", 4*time.Second, "offline GOSHD threshold")
+		metricsTo = flag.String("metrics", "", "write a telemetry snapshot of the replay as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -84,12 +105,38 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var reg *telemetry.Registry
+	var auditors []core.Auditor
+	if *metricsTo != "" {
+		reg = telemetry.NewRegistry()
+		det.EnableTelemetry(reg)
+		// Count replayed events per type alongside the auditor instruments,
+		// so the snapshot stands alone as a trace profile.
+		byType := make(map[core.EventType]*telemetry.Counter)
+		auditors = append(auditors, &core.AuditorFunc{
+			AuditorName: "trace-meter", EventMask: core.MaskAll,
+			Fn: func(ev *core.Event) {
+				c, ok := byType[ev.Type]
+				if !ok {
+					c = reg.Counter("hypertap_trace_events_total", telemetry.L("type", ev.Type.String()))
+					byType[ev.Type] = c
+				}
+				c.Inc()
+			},
+		})
+	}
 	det.Start()
+	auditors = append(auditors, det)
 	// Tail 0: the end of a finite trace is not evidence of a hang. A real
 	// hang leaves a switch-silence gap *inside* the trace, because timer
 	// interrupts (or the other vCPUs) keep producing events past it.
-	if _, err := trace.ReplayWithClock(f, clock, 0, det); err != nil {
+	if _, err := trace.ReplayWithClock(f, clock, 0, auditors...); err != nil {
 		return err
+	}
+	if reg != nil {
+		if err := writeMetrics(*metricsTo, reg); err != nil {
+			return err
+		}
 	}
 	alarms := det.Alarms()
 	if len(alarms) == 0 {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hypertap/internal/core"
+	"hypertap/internal/telemetry"
 	"hypertap/internal/vclock"
 )
 
@@ -60,6 +61,28 @@ type Detector struct {
 	alarms     []HangAlarm
 	hung       []bool
 	started    bool
+	tel        *detTelemetry
+}
+
+// detTelemetry is GOSHD's instrument set.
+type detTelemetry struct {
+	scans   *telemetry.Counter
+	alarmsC *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+// EnableTelemetry registers GOSHD's instruments on reg:
+// hypertap_goshd_timeout_scans_total counts watchdog timeout evaluations,
+// hypertap_goshd_scan_seconds records their latency, and
+// hypertap_goshd_alarms_total counts raised hang alarms.
+func (d *Detector) EnableTelemetry(reg *telemetry.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tel = &detTelemetry{
+		scans:   reg.Counter("hypertap_goshd_timeout_scans_total"),
+		alarmsC: reg.Counter("hypertap_goshd_alarms_total"),
+		latency: reg.Histogram("hypertap_goshd_scan_seconds"),
+	}
 }
 
 // New builds a detector. Start must be called to arm the watchdogs.
@@ -137,9 +160,15 @@ func (d *Detector) HandleEvent(ev *core.Event) {
 
 // onSilence fires when a vCPU has been switch-silent for the threshold.
 func (d *Detector) onSilence(vcpu int, now time.Duration) {
+	start := time.Now()
 	d.mu.Lock()
+	tel := d.tel
 	if d.hung[vcpu] {
 		d.mu.Unlock()
+		if tel != nil {
+			tel.scans.Inc()
+			tel.latency.Observe(time.Since(start))
+		}
 		return
 	}
 	d.hung[vcpu] = true
@@ -149,6 +178,11 @@ func (d *Detector) onSilence(vcpu int, now time.Duration) {
 	// Keep watching: if the vCPU resumes, HandleEvent clears hung and
 	// re-arms; otherwise this timer chain ends here.
 	d.mu.Unlock()
+	if tel != nil {
+		tel.scans.Inc()
+		tel.alarmsC.Inc()
+		tel.latency.Observe(time.Since(start))
+	}
 	if onHang != nil {
 		onHang(alarm)
 	}

@@ -26,6 +26,7 @@ import (
 	"hypertap/internal/arch"
 	"hypertap/internal/core"
 	"hypertap/internal/guest"
+	"hypertap/internal/telemetry"
 	"hypertap/internal/vmi"
 )
 
@@ -97,6 +98,28 @@ type Detector struct {
 	// seen maps RSP0 → thread identity, keyed by the architectural thread
 	// identifier the paper proposes.
 	seen map[arch.GVA]*SeenThread
+	tel  *detTelemetry
+}
+
+// detTelemetry is HRKD's instrument set.
+type detTelemetry struct {
+	checks  *telemetry.Counter
+	hidden  *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+// EnableTelemetry registers HRKD's instruments on reg:
+// hypertap_hrkd_crossview_checks_total counts cross-validation passes,
+// hypertap_hrkd_crossview_seconds records their latency, and
+// hypertap_hrkd_hidden_tasks_total counts hidden-task findings.
+func (d *Detector) EnableTelemetry(reg *telemetry.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tel = &detTelemetry{
+		checks:  reg.Counter("hypertap_hrkd_crossview_checks_total"),
+		hidden:  reg.Counter("hypertap_hrkd_hidden_tasks_total"),
+		latency: reg.Histogram("hypertap_hrkd_crossview_seconds"),
+	}
 }
 
 // New builds the detector.
@@ -181,6 +204,7 @@ func (d *Detector) CrossCheck() (*CrossViewReport, error) {
 // OS-invariant task listing — the VMI walk or an in-guest ps/Task Manager
 // report ("a trusted view that can be cross-validated against other views").
 func (d *Detector) CrossCheckAgainst(view []guest.ProcEntry) *CrossViewReport {
+	start := time.Now()
 	now := d.cfg.View.Now()
 	inView := make(map[int]bool, len(view))
 	for _, e := range view {
@@ -220,6 +244,11 @@ func (d *Detector) CrossCheckAgainst(view []guest.ProcEntry) *CrossViewReport {
 		})
 	}
 	sort.Slice(report.Hidden, func(i, j int) bool { return report.Hidden[i].PID < report.Hidden[j].PID })
+	if d.tel != nil {
+		d.tel.checks.Inc()
+		d.tel.hidden.Add(uint64(len(report.Hidden)))
+		d.tel.latency.Observe(time.Since(start))
+	}
 	return report
 }
 

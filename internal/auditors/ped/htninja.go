@@ -3,10 +3,12 @@ package ped
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hypertap/internal/arch"
 	"hypertap/internal/core"
 	"hypertap/internal/guest"
+	"hypertap/internal/telemetry"
 	"hypertap/internal/vmi"
 )
 
@@ -34,6 +36,30 @@ type HTNinja struct {
 	flagged    map[int]bool
 	detections []Detection
 	checks     uint64
+	tel        *ninjaTelemetry
+}
+
+// ninjaTelemetry is HT-Ninja's instrument set.
+type ninjaTelemetry struct {
+	decisions  *telemetry.Counter
+	detections *telemetry.Counter
+	latency    *telemetry.Histogram
+}
+
+// EnableTelemetry registers HT-Ninja's instruments on reg:
+// hypertap_ped_policy_decisions_total counts policy evaluations (each runs
+// synchronously with the vCPU suspended), hypertap_ped_decision_seconds
+// records their latency — the blocking cost the paper's active-monitoring
+// trade-off hinges on — and hypertap_ped_detections_total counts flagged
+// escalations. Call before the auditor is registered with the EM.
+func (n *HTNinja) EnableTelemetry(reg *telemetry.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tel = &ninjaTelemetry{
+		decisions:  reg.Counter("hypertap_ped_policy_decisions_total"),
+		detections: reg.Counter("hypertap_ped_detections_total"),
+		latency:    reg.Histogram("hypertap_ped_decision_seconds"),
+	}
 }
 
 // HTNinjaConfig assembles the auditor.
@@ -108,22 +134,39 @@ func (n *HTNinja) checkCurrent(ev *core.Event, trigger string) {
 	n.checkRSP0(ev, arch.GVA(rsp0), trigger)
 }
 
-// checkRSP0 derives a task from a kernel stack pointer and applies the rule.
+// checkRSP0 derives a task from a kernel stack pointer and applies the
+// rule, recording the decision count and latency when telemetry is on.
 func (n *HTNinja) checkRSP0(ev *core.Event, rsp0 arch.GVA, trigger string) {
+	if tel := n.tel; tel != nil {
+		start := time.Now()
+		detected := n.evalRSP0(ev, rsp0, trigger)
+		tel.decisions.Inc()
+		tel.latency.Observe(time.Since(start))
+		if detected {
+			tel.detections.Inc()
+		}
+		return
+	}
+	n.evalRSP0(ev, rsp0, trigger)
+}
+
+// evalRSP0 performs the derivation and policy check, reporting whether a
+// new detection was flagged.
+func (n *HTNinja) evalRSP0(ev *core.Event, rsp0 arch.GVA, trigger string) bool {
 	cr3 := ev.Regs.CR3
 	if cr3 == 0 || rsp0 == 0 {
-		return
+		return false
 	}
 	entry, err := n.intro.DeriveTaskFromRSP0(cr3, rsp0)
 	if err != nil {
-		return
+		return false
 	}
 	n.mu.Lock()
 	n.checks++
 	already := n.flagged[entry.PID]
 	n.mu.Unlock()
 	if already || !n.policy.ViolatesEntry(entry) {
-		return
+		return false
 	}
 	d := Detection{
 		PID: entry.PID, Comm: entry.Comm, At: ev.Time,
@@ -132,7 +175,7 @@ func (n *HTNinja) checkRSP0(ev *core.Event, rsp0 arch.GVA, trigger string) {
 	n.mu.Lock()
 	if n.flagged[entry.PID] {
 		n.mu.Unlock()
-		return
+		return false
 	}
 	n.flagged[entry.PID] = true
 	n.detections = append(n.detections, d)
@@ -141,6 +184,7 @@ func (n *HTNinja) checkRSP0(ev *core.Event, rsp0 arch.GVA, trigger string) {
 	if onDetect != nil {
 		onDetect(d)
 	}
+	return true
 }
 
 // Detections snapshots flagged processes.

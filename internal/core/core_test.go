@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"hypertap/internal/telemetry"
 )
 
 func TestMaskOfAndHas(t *testing.T) {
@@ -347,5 +349,281 @@ func TestParseHeartbeat(t *testing.T) {
 		if (err != nil) != tt.wantErr {
 			t.Errorf("parseHeartbeat(%q) err = %v, wantErr %v", tt.line, err, tt.wantErr)
 		}
+	}
+}
+
+// --- Sampler edge cases (RHC feed path) ---
+
+func TestSamplerExactCadence(t *testing.T) {
+	em := NewMultiplexer()
+	var sampled []uint64
+	em.SetSampler(4, func(ev *Event) { sampled = append(sampled, ev.Seq) })
+	for i := 1; i <= 17; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	// Exactly every 4th publish: events 4, 8, 12, 16.
+	want := []uint64{4, 8, 12, 16}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampled, want)
+	}
+	for i, seq := range want {
+		if sampled[i] != seq {
+			t.Fatalf("sampled %v, want %v", sampled, want)
+		}
+	}
+}
+
+func TestSamplerZeroDisables(t *testing.T) {
+	em := NewMultiplexer()
+	calls := 0
+	em.SetSampler(0, func(ev *Event) { calls++ })
+	for i := 1; i <= 10; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	if calls != 0 {
+		t.Fatalf("sampler with n=0 invoked %d times, want 0", calls)
+	}
+	// Re-enabling with a positive cadence must take effect.
+	em.SetSampler(5, func(ev *Event) { calls++ })
+	for i := 11; i <= 20; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	if calls != 2 { // publishes 15 and 20
+		t.Fatalf("re-enabled sampler invoked %d times, want 2", calls)
+	}
+}
+
+func TestSamplerSwapMidStream(t *testing.T) {
+	em := NewMultiplexer()
+	var first, second []uint64
+	em.SetSampler(2, func(ev *Event) { first = append(first, ev.Seq) })
+	for i := 1; i <= 4; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	// Swap the sampler mid-stream: the published count keeps running, so
+	// the new cadence is judged against the global count (publishes 6, 9
+	// are the next multiples of 3).
+	em.SetSampler(3, func(ev *Event) { second = append(second, ev.Seq) })
+	for i := 5; i <= 9; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	if len(first) != 2 || first[0] != 2 || first[1] != 4 {
+		t.Fatalf("first sampler saw %v, want [2 4]", first)
+	}
+	if len(second) != 2 || second[0] != 6 || second[1] != 9 {
+		t.Fatalf("second sampler saw %v, want [6 9]", second)
+	}
+}
+
+func TestSamplerSwapToNil(t *testing.T) {
+	em := NewMultiplexer()
+	calls := 0
+	em.SetSampler(1, func(ev *Event) { calls++ })
+	em.Publish(&Event{Type: EvHalt})
+	em.SetSampler(1, nil)
+	em.Publish(&Event{Type: EvHalt})
+	if calls != 1 {
+		t.Fatalf("nil sampler still invoked: calls = %d, want 1", calls)
+	}
+}
+
+// --- Dispatch fairness ---
+
+// TestDispatchRotatesStartingSubscriber pins the round-robin drain: under a
+// bounded Dispatch, the subscriber delivered first must rotate between
+// calls instead of always being the earliest registrant.
+func TestDispatchRotatesStartingSubscriber(t *testing.T) {
+	em := NewMultiplexer()
+	var order []string
+	mk := func(name string) *AuditorFunc {
+		return &AuditorFunc{AuditorName: name, EventMask: MaskAll, Fn: func(*Event) {
+			order = append(order, name)
+		}}
+	}
+	if err := em.Register(mk("early"), DeliverAsync, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Register(mk("late"), DeliverAsync, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	var heads []string
+	for i := 0; i < 4; i++ {
+		order = order[:0]
+		if n := em.Dispatch(1); n != 2 {
+			t.Fatalf("Dispatch(1) delivered %d, want 2 (one per subscriber)", n)
+		}
+		heads = append(heads, order[0])
+	}
+	sawLateFirst := false
+	for _, h := range heads {
+		if h == "late" {
+			sawLateFirst = true
+		}
+	}
+	if !sawLateFirst {
+		t.Fatalf("late registrant never drained first across calls: heads = %v", heads)
+	}
+}
+
+// --- EM telemetry ---
+
+func TestEMTelemetryCountersAndQueueDepth(t *testing.T) {
+	em := NewMultiplexer()
+	reg := telemetry.NewRegistry()
+	em.EnableTelemetry(reg)
+
+	sink := &AuditorFunc{AuditorName: "sync-sink", EventMask: MaskAll, Fn: func(*Event) {}}
+	if err := em.Register(sink, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	slow, _ := collector("async-slow", MaskAll)
+	if err := em.Register(slow, DeliverAsync, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// 6 publishes against a 4-slot ring: 2 drops.
+	for i := 0; i < 6; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	snap := reg.Snapshot()
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["hypertap_events_published_total"] != 6 {
+		t.Fatalf("published counter = %d, want 6", counters["hypertap_events_published_total"])
+	}
+	if counters["hypertap_events_dropped_total"] != 2 {
+		t.Fatalf("dropped counter = %d, want 2", counters["hypertap_events_dropped_total"])
+	}
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["hypertap_async_queue_depth"] != 4 {
+		t.Fatalf("queue depth = %v, want 4", gauges["hypertap_async_queue_depth"])
+	}
+	if gauges["hypertap_async_queue_highwater"] != 4 {
+		t.Fatalf("high water = %v, want 4", gauges["hypertap_async_queue_highwater"])
+	}
+
+	// Draining restores depth to zero but leaves the high-water mark.
+	em.Dispatch(0)
+	snap = reg.Snapshot()
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "hypertap_async_queue_depth":
+			if g.Value != 0 {
+				t.Fatalf("queue depth after drain = %v, want 0", g.Value)
+			}
+		case "hypertap_async_queue_highwater":
+			if g.Value != 4 {
+				t.Fatalf("high water after drain = %v, want 4", g.Value)
+			}
+		}
+	}
+}
+
+func TestEMTelemetrySampledSyncLatency(t *testing.T) {
+	em := NewMultiplexer()
+	reg := telemetry.NewRegistry()
+	em.EnableTelemetry(reg)
+	busy := &AuditorFunc{AuditorName: "busy", EventMask: MaskAll, Fn: func(*Event) {
+		time.Sleep(50 * time.Microsecond)
+	}}
+	if err := em.Register(busy, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	const publishes = 4 * latencySampleEvery // 4 sampled observations
+	for i := 0; i < publishes; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	snap := reg.Snapshot()
+	var hist *telemetry.HistogramSnapshot
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "hypertap_auditor_handle_seconds" {
+			hist = &snap.Histograms[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("no hypertap_auditor_handle_seconds histogram in snapshot")
+	}
+	if hist.Labels[0] != telemetry.L("auditor", "busy") {
+		t.Fatalf("histogram labels = %v", hist.Labels)
+	}
+	want := uint64(publishes / latencySampleEvery)
+	if hist.Count != want {
+		t.Fatalf("sampled latency count = %d, want %d", hist.Count, want)
+	}
+	if p50 := hist.Quantile(0.5); p50 < 10*time.Microsecond {
+		t.Fatalf("p50 = %v, implausibly below the 50µs handler sleep", p50)
+	}
+}
+
+// --- RHC telemetry and health ---
+
+func TestRHCTelemetryAndHealth(t *testing.T) {
+	srv, err := NewRHCServer("127.0.0.1:0", 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	reg := telemetry.NewRegistry()
+	srv.EnableTelemetry(reg)
+
+	if err := srv.Health(); err != nil {
+		t.Fatalf("Health before any heartbeat = %v, want nil", err)
+	}
+
+	client, err := DialRHC("vm0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	client.Send(&Event{Seq: 1, Time: time.Millisecond})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Received() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Health(); err != nil {
+		t.Fatalf("Health with fresh heartbeat = %v, want nil", err)
+	}
+
+	// Stall: health must degrade and a missed beat must be counted.
+	deadline = time.Now().Add(2 * time.Second)
+	for srv.Health() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Health(); err == nil {
+		t.Fatal("Health still ok after heartbeat stall")
+	}
+	select {
+	case <-srv.Alerts():
+	case <-time.After(2 * time.Second):
+		t.Fatal("no alert after stall")
+	}
+	snap := reg.Snapshot()
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["hypertap_rhc_heartbeats_total"] != 1 {
+		t.Fatalf("heartbeats counter = %d, want 1", counters["hypertap_rhc_heartbeats_total"])
+	}
+	if counters["hypertap_rhc_missed_beats_total"] == 0 {
+		t.Fatal("missed beats counter still zero after stall")
+	}
+	var age float64 = -1
+	for _, g := range snap.Gauges {
+		if g.Name == "hypertap_rhc_heartbeat_age_seconds" {
+			age = g.Value
+		}
+	}
+	if age <= 0 {
+		t.Fatalf("heartbeat age gauge = %v, want > 0 after stall", age)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"hypertap/internal/telemetry"
 )
 
 // Remote Health Checker (RHC): the paper's answer to "who monitors the
@@ -53,6 +55,7 @@ type RHCServer struct {
 	lastBeat map[string]Heartbeat
 	received uint64
 	closed   bool
+	tel      *rhcTelemetry
 
 	alerts chan RHCAlert
 	done   chan struct{}
@@ -81,6 +84,43 @@ func NewRHCServer(addr string, threshold time.Duration) (*RHCServer, error) {
 	go s.acceptLoop()
 	go s.watchdog()
 	return s, nil
+}
+
+// rhcTelemetry is the RHC's instrument set.
+type rhcTelemetry struct {
+	heartbeats *telemetry.Counter
+	missed     *telemetry.Counter
+	age        *telemetry.Gauge
+}
+
+// EnableTelemetry registers the RHC's self-monitoring instruments on reg:
+// hypertap_rhc_heartbeats_total, hypertap_rhc_missed_beats_total (one per
+// raised silence alert) and hypertap_rhc_heartbeat_age_seconds (the oldest
+// VM's heartbeat age, refreshed by the watchdog).
+func (s *RHCServer) EnableTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = &rhcTelemetry{
+		heartbeats: reg.Counter("hypertap_rhc_heartbeats_total"),
+		missed:     reg.Counter("hypertap_rhc_missed_beats_total"),
+		age:        reg.Gauge("hypertap_rhc_heartbeat_age_seconds"),
+	}
+}
+
+// Health implements the /healthz contract (telemetry/httpexport.Health): it
+// returns an error while any monitored VM's heartbeats have been silent for
+// longer than the alert threshold. A VM that never heartbeat is not
+// reported — the RHC can only miss what it once received.
+func (s *RHCServer) Health() error {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for vm, hb := range s.lastBeat {
+		if age := now.Sub(hb.Received); age > s.threshold {
+			return fmt.Errorf("rhc: %s heartbeats stalled for %v", vm, age.Round(time.Millisecond))
+		}
+	}
+	return nil
 }
 
 // Addr returns the server's listen address for clients to dial.
@@ -156,6 +196,10 @@ func (s *RHCServer) serveConn(conn net.Conn) {
 		s.last[hb.VM] = hb.Received
 		s.lastBeat[hb.VM] = hb
 		s.received++
+		if s.tel != nil {
+			s.tel.heartbeats.Inc()
+			s.tel.age.Set(0)
+		}
 		s.mu.Unlock()
 	}
 }
@@ -174,12 +218,27 @@ func (s *RHCServer) watchdog() {
 			return
 		case now := <-ticker.C:
 			s.mu.Lock()
+			if s.tel != nil {
+				// Heartbeat age is judged against lastBeat, which —
+				// unlike the re-armed alert clock — records true
+				// arrival times.
+				var oldest time.Duration
+				for _, hb := range s.lastBeat {
+					if age := now.Sub(hb.Received); age > oldest {
+						oldest = age
+					}
+				}
+				s.tel.age.Set(oldest.Seconds())
+			}
 			for vm, last := range s.last {
 				if silence := now.Sub(last); silence > s.threshold {
 					alert := RHCAlert{VM: vm, Silence: silence, At: now}
 					select {
 					case s.alerts <- alert:
 					default:
+					}
+					if s.tel != nil {
+						s.tel.missed.Inc()
 					}
 					// Re-arm rather than flooding.
 					s.last[vm] = now

@@ -19,6 +19,7 @@ import (
 	"hypertap/internal/guest"
 	"hypertap/internal/hv"
 	"hypertap/internal/inject"
+	"hypertap/internal/telemetry"
 	"hypertap/internal/workload"
 )
 
@@ -53,6 +54,12 @@ type GOSHDConfig struct {
 	Parallel int
 	// Progress, when set, is called after each run.
 	Progress func(done, total int)
+	// Telemetry, when set, instruments every campaign VM against this
+	// shared registry (series aggregate across runs) and attaches a final
+	// snapshot to the result. Metric values are campaign totals, not
+	// per-run; they feed the live -telemetry-addr endpoint and the JSON
+	// report of cmd/goshd-campaign.
+	Telemetry *telemetry.Registry
 }
 
 func (c *GOSHDConfig) fillDefaults() {
@@ -109,6 +116,9 @@ type GOSHDResult struct {
 	Cells map[GOSHDCell]*GOSHDCellStats
 	Runs  int
 	Sites int
+	// Telemetry is the campaign-wide metrics snapshot, present when
+	// GOSHDConfig.Telemetry was set.
+	Telemetry *telemetry.Snapshot
 }
 
 // Outcomes sums outcome counts across cells.
@@ -202,6 +212,7 @@ func RunGOSHDCampaign(cfg GOSHDConfig) (*GOSHDResult, error) {
 						Runway:      cfg.Runway,
 						Observe:     cfg.Observe,
 						Seed:        cfg.Seed + int64(site.ID),
+						Telemetry:   cfg.Telemetry,
 					}})
 				}
 			}
@@ -263,6 +274,10 @@ func RunGOSHDCampaign(cfg GOSHDConfig) (*GOSHDResult, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if cfg.Telemetry != nil {
+		snap := cfg.Telemetry.Snapshot()
+		result.Telemetry = &snap
+	}
 	return result, nil
 }
 
@@ -285,6 +300,8 @@ type InjectionConfig struct {
 	Runway      time.Duration
 	Observe     time.Duration
 	Seed        int64
+	// Telemetry, when set, instruments the run's VM and GOSHD detector.
+	Telemetry *telemetry.Registry
 }
 
 // RunInjection boots a clean 2-vCPU VM with GOSHD attached, starts the
@@ -292,9 +309,10 @@ type InjectionConfig struct {
 // the outcome per the paper's taxonomy.
 func RunInjection(cfg InjectionConfig) (inject.RunResult, error) {
 	m, err := hv.New(hv.Config{
-		VCPUs:    2,
-		MemBytes: 64 << 20,
-		Guest:    guest.Config{Preemptible: cfg.Preemptible, Seed: cfg.Seed},
+		VCPUs:     2,
+		MemBytes:  64 << 20,
+		Guest:     guest.Config{Preemptible: cfg.Preemptible, Seed: cfg.Seed},
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return inject.RunResult{}, err
@@ -312,6 +330,9 @@ func RunInjection(cfg InjectionConfig) (inject.RunResult, error) {
 	})
 	if err != nil {
 		return inject.RunResult{}, err
+	}
+	if cfg.Telemetry != nil {
+		det.EnableTelemetry(cfg.Telemetry)
 	}
 	// GOSHD is non-blocking (the paper's default auditing mode).
 	if err := m.EM().Register(det, core.DeliverAsync, 0); err != nil {

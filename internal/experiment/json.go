@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hypertap/internal/inject"
+	"hypertap/internal/telemetry"
 )
 
 // Machine-readable exports: every experiment result serializes to JSON so
@@ -24,11 +25,12 @@ type goshdCellJSON struct {
 
 // goshdJSON is the export form of the whole campaign.
 type goshdJSON struct {
-	Sites            int             `json:"sites"`
-	Runs             int             `json:"runs"`
-	Coverage         float64         `json:"coverage"`
-	PartialHangShare float64         `json:"partial_hang_share"`
-	Cells            []goshdCellJSON `json:"cells"`
+	Sites            int                 `json:"sites"`
+	Runs             int                 `json:"runs"`
+	Coverage         float64             `json:"coverage"`
+	PartialHangShare float64             `json:"partial_hang_share"`
+	Cells            []goshdCellJSON     `json:"cells"`
+	Telemetry        *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // WriteJSON exports the campaign result.
@@ -38,6 +40,7 @@ func (r *GOSHDResult) WriteJSON(w io.Writer) error {
 		Runs:             r.Runs,
 		Coverage:         r.Coverage(),
 		PartialHangShare: r.PartialHangShare(),
+		Telemetry:        r.Telemetry,
 	}
 	for cell, stats := range r.Cells {
 		cj := goshdCellJSON{

@@ -1,0 +1,51 @@
+package hav
+
+import "hypertap/internal/telemetry"
+
+// ExitCounters instruments the VM Exit dispatch path: one counter per exit
+// reason, pre-resolved at construction so the per-exit record is a single
+// array index plus one atomic add — no map lookup, no allocation, nothing
+// that would perturb the path whose cost the paper's Fig. 7 measures.
+type ExitCounters struct {
+	byReason [numExitReasons + 1]*telemetry.Counter
+}
+
+// NewExitCounters registers hypertap_vm_exits_total{reason=...} for every
+// modeled exit reason on reg. Multiple VMs sharing a registry share the
+// series (counts aggregate).
+func NewExitCounters(reg *telemetry.Registry) *ExitCounters {
+	c := &ExitCounters{}
+	for _, r := range AllExitReasons() {
+		c.byReason[r] = reg.Counter("hypertap_vm_exits_total", telemetry.L("reason", r.String()))
+	}
+	return c
+}
+
+// Record counts one exit.
+func (c *ExitCounters) Record(exit *Exit) {
+	if int(exit.Reason) < len(c.byReason) {
+		if ctr := c.byReason[exit.Reason]; ctr != nil {
+			ctr.Inc()
+		}
+	}
+}
+
+// Count returns the recorded total for one reason (snapshot convenience).
+func (c *ExitCounters) Count(r ExitReason) uint64 {
+	if int(r) < len(c.byReason) && c.byReason[r] != nil {
+		return c.byReason[r].Value()
+	}
+	return 0
+}
+
+// Wrap returns an ExitHandler that records each exit and then forwards it
+// to next. Use it to splice exit-rate telemetry into an existing dispatch
+// chain without touching the handler itself.
+func (c *ExitCounters) Wrap(next ExitHandler) ExitHandler {
+	return ExitHandlerFunc(func(exit *Exit) {
+		c.Record(exit)
+		if next != nil {
+			next.HandleExit(exit)
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"hypertap/internal/gmem"
 	"hypertap/internal/guest"
 	"hypertap/internal/hav"
+	"hypertap/internal/telemetry"
 	"hypertap/internal/vclock"
 )
 
@@ -64,6 +65,11 @@ type Config struct {
 	// Guest carries kernel configuration (profile, syscall mechanism,
 	// preemption, timeslice, seed). Mem and VCPUs fields are overwritten.
 	Guest guest.Config
+	// Telemetry, when set, instruments the machine: the EM registers its
+	// publish/queue/latency metrics and every VM Exit is counted by reason
+	// (hypertap_vm_exits_total). Registries may be shared across machines;
+	// shared series aggregate.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -132,9 +138,14 @@ func New(cfg Config) (*Machine, error) {
 		ept:   hav.NewEPT(mem.Pages()),
 		em:    core.NewMultiplexer(),
 	}
+	var handler hav.ExitHandler = hav.ExitHandlerFunc(m.handleExit)
+	if cfg.Telemetry != nil {
+		m.em.EnableTelemetry(cfg.Telemetry)
+		handler = hav.NewExitCounters(cfg.Telemetry).Wrap(handler)
+	}
 	for i := 0; i < cfg.VCPUs; i++ {
 		v := hav.NewVCPU(i, m.ctrls, m.ept, &m.seq)
-		v.SetHandler(hav.ExitHandlerFunc(m.handleExit))
+		v.SetHandler(handler)
 		m.vcpus = append(m.vcpus, v)
 	}
 	gcfg := cfg.Guest

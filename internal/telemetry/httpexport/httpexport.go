@@ -1,0 +1,151 @@
+// Package httpexport serves a telemetry.Registry over HTTP: Prometheus text
+// exposition on /metrics, a JSON snapshot on /metrics.json, and a liveness
+// probe on /healthz.
+//
+// The health probe closes the paper's self-monitoring loop: when the
+// endpoint is backed by the Remote Health Checker (core.RHCServer.Health),
+// a stalled heartbeat stream — the signature of a dead or wedged monitoring
+// stack — flips /healthz to 503, so the same invariant the RHC enforces
+// over TCP is visible to any off-the-shelf prober.
+package httpexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"hypertap/internal/telemetry"
+)
+
+// Health reports the monitoring stack's liveness; nil error means healthy.
+// A nil Health func is treated as always healthy.
+type Health func() error
+
+// Handler returns an http.Handler serving /metrics, /metrics.json and
+// /healthz for the registry.
+func Handler(reg *telemetry.Registry, health Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil {
+			if err := health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "degraded: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. "127.0.0.1:0").
+func Serve(addr string, reg *telemetry.Registry, health Health) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpexport: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, health), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// promLabels renders a label set (plus optional extra label) in Prometheus
+// syntax, including the braces; empty when there are no labels.
+func promLabels(labels []telemetry.Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm writes a snapshot in the Prometheus text exposition format.
+// Histograms are exported as summaries (p50/p90/p99 quantiles, _sum and
+// _count) plus a companion <name>_max gauge, with durations in seconds.
+func WriteProm(w io.Writer, snap telemetry.Snapshot) {
+	sort.SliceStable(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.SliceStable(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	sort.SliceStable(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+
+	family := ""
+	for _, c := range snap.Counters {
+		if c.Name != family {
+			family = c.Name
+			fmt.Fprintf(w, "# TYPE %s counter\n", c.Name)
+		}
+		fmt.Fprintf(w, "%s%s %d\n", c.Name, promLabels(c.Labels, "", ""), c.Value)
+	}
+	family = ""
+	for _, g := range snap.Gauges {
+		if g.Name != family {
+			family = g.Name
+			fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name)
+		}
+		fmt.Fprintf(w, "%s%s %g\n", g.Name, promLabels(g.Labels, "", ""), g.Value)
+	}
+	family = ""
+	for _, h := range snap.Histograms {
+		if h.Name != family {
+			family = h.Name
+			fmt.Fprintf(w, "# TYPE %s summary\n", h.Name)
+		}
+		for _, q := range []struct {
+			label string
+			v     time.Duration
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			fmt.Fprintf(w, "%s%s %g\n", h.Name, promLabels(h.Labels, "quantile", q.label), q.v.Seconds())
+		}
+		fmt.Fprintf(w, "%s_sum%s %g\n", h.Name, promLabels(h.Labels, "", ""), h.Sum.Seconds())
+		fmt.Fprintf(w, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
+	}
+	family = ""
+	for _, h := range snap.Histograms {
+		if h.Name != family {
+			family = h.Name
+			fmt.Fprintf(w, "# TYPE %s_max gauge\n", h.Name)
+		}
+		fmt.Fprintf(w, "%s_max%s %g\n", h.Name, promLabels(h.Labels, "", ""), h.Max.Seconds())
+	}
+}

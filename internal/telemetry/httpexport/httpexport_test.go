@@ -1,0 +1,120 @@
+package httpexport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hypertap/internal/telemetry"
+)
+
+func testRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Counter("hypertap_events_published_total").Add(1234)
+	reg.Counter("hypertap_vm_exits_total", telemetry.L("reason", "CR_ACCESS")).Add(7)
+	reg.Counter("hypertap_vm_exits_total", telemetry.L("reason", "WRMSR")).Add(3)
+	reg.Gauge("hypertap_async_queue_depth").Set(5)
+	h := reg.Histogram("hypertap_auditor_handle_seconds", telemetry.L("auditor", "goshd"))
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	return reg
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestMetricsEndpointPromFormat(t *testing.T) {
+	h := Handler(testRegistry(), nil)
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE hypertap_events_published_total counter",
+		"hypertap_events_published_total 1234",
+		`hypertap_vm_exits_total{reason="CR_ACCESS"} 7`,
+		"# TYPE hypertap_async_queue_depth gauge",
+		"hypertap_async_queue_depth 5",
+		"# TYPE hypertap_auditor_handle_seconds summary",
+		`hypertap_auditor_handle_seconds{auditor="goshd",quantile="0.5"}`,
+		`hypertap_auditor_handle_seconds{auditor="goshd",quantile="0.99"}`,
+		`hypertap_auditor_handle_seconds_count{auditor="goshd"} 100`,
+		`hypertap_auditor_handle_seconds_sum{auditor="goshd"}`,
+		"# TYPE hypertap_auditor_handle_seconds_max gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+	// TYPE headers must not repeat within a family.
+	if n := strings.Count(body, "# TYPE hypertap_vm_exits_total counter"); n != 1 {
+		t.Errorf("TYPE line for hypertap_vm_exits_total appears %d times", n)
+	}
+}
+
+func TestMetricsJSONEndpoint(t *testing.T) {
+	h := Handler(testRegistry(), nil)
+	code, body := get(t, h, "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics.json = %d", code)
+	}
+	if !strings.Contains(body, `"hypertap_events_published_total"`) || !strings.Contains(body, `"p99_ns"`) {
+		t.Errorf("unexpected /metrics.json body:\n%s", body)
+	}
+}
+
+func TestHealthzHealthyAndDegraded(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	code, body := get(t, Handler(reg, nil), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("nil health: %d %q", code, body)
+	}
+	healthy := true
+	h := Handler(reg, func() error {
+		if healthy {
+			return nil
+		}
+		return errors.New("vm0 heartbeat stalled")
+	})
+	if code, _ := get(t, h, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthy probe = %d", code)
+	}
+	healthy = false
+	code, body = get(t, h, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded probe = %d, want 503", code)
+	}
+	if !strings.Contains(body, "heartbeat stalled") {
+		t.Fatalf("degraded body = %q", body)
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hypertap_events_published_total") {
+		t.Fatalf("live /metrics: %d %q", resp.StatusCode, body)
+	}
+}
