@@ -1,11 +1,13 @@
 # HyperTap reproduction — build and verification entry points.
 #
-# `make check` is the tier-1 gate: vet, formatting, and the race-checked
-# core + telemetry suites (the packages on the event hot path).
+# `make check` is the tier-1 gate: vet, the hypertap-vet invariant
+# analyzer, formatting, and the race-checked suites for the packages on
+# the event hot path (core, telemetry) plus the experiment driver and
+# hypervisor (-short keeps the race leg fast).
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench-telemetry
+.PHONY: all build test check fmt vet vet-invariants race bench-telemetry
 
 all: build
 
@@ -15,10 +17,15 @@ build:
 test:
 	$(GO) test ./...
 
-check: vet fmt race
+check: vet vet-invariants fmt race
 
 vet:
 	$(GO) vet ./...
+
+# hypertap-vet mechanically enforces the determinism, isolation, and
+# hot-path invariants of DESIGN.md §7–§9 (see cmd/hypertap-vet).
+vet-invariants:
+	$(GO) run ./cmd/hypertap-vet ./...
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -27,7 +34,7 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/...
+	$(GO) test -race -short ./internal/core/... ./internal/telemetry/... ./internal/experiment/... ./internal/hv/...
 
 # Regenerate the telemetry micro-benchmark numbers (see results/BENCH_telemetry.json).
 bench-telemetry:

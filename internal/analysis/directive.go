@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Escape-comment directives. The vet gate is only trustworthy if every
+// exception is visible and justified at the violation site, so the grammar
+// is deliberately rigid:
+//
+//	//hypertap:allow <pass> <reason...>       suppress <pass> on this line
+//	                                          and the next (comment-above or
+//	                                          trailing-comment placement)
+//	//hypertap:allow-file <pass> <reason...>  suppress <pass> in this file
+//	//hypertap:hotpath [note...]              mark the documented function
+//	                                          for the hotpath pass
+//
+// A malformed directive — unknown verb, unknown pass name, or a missing
+// reason — is itself a finding (pass name "directive"), and malformed
+// directives never suppress anything. That closes the obvious hole where a
+// typo silently disables the gate.
+
+// directivePrefix introduces every directive comment.
+const directivePrefix = "hypertap:"
+
+// DirectivePass is the pseudo-pass name misused directives are reported
+// under. It is not a real pass and cannot be allowed away.
+const DirectivePass = "directive"
+
+// allowKey identifies one line-scoped suppression.
+type allowKey struct {
+	file string
+	line int
+	pass string
+}
+
+// directiveSet is the parsed directives of one package.
+type directiveSet struct {
+	// line holds line-scoped allows: a finding for pass P at file:L is
+	// suppressed by an allow at L or L-1.
+	line map[allowKey]bool
+	// file holds file-scoped allows keyed by filename then pass.
+	file map[string]map[string]bool
+	// misuse collects malformed-directive findings.
+	misuse []Finding
+	// known is the valid pass-name set allow targets are checked against.
+	known map[string]bool
+}
+
+// allows reports whether a finding of pass at pos is suppressed.
+func (d *directiveSet) allows(pass string, pos token.Position) bool {
+	if d.file[pos.Filename][pass] {
+		return true
+	}
+	return d.line[allowKey{pos.Filename, pos.Line, pass}] ||
+		d.line[allowKey{pos.Filename, pos.Line - 1, pass}]
+}
+
+// parseDirectives scans every comment of every file in pkg. known is the
+// set of valid pass names for validating allow targets.
+func parseDirectives(pkg *Package, known map[string]bool) *directiveSet {
+	d := &directiveSet{
+		line:  make(map[allowKey]bool),
+		file:  make(map[string]map[string]bool),
+		known: known,
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(pkg, c)
+			}
+		}
+	}
+	return d
+}
+
+// parseComment handles one comment, recording directives and misuse.
+func (d *directiveSet) parseComment(pkg *Package, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+	if !ok {
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	verb, rest, _ := strings.Cut(text, " ")
+	switch verb {
+	case "hotpath":
+		// Consumed by the hotpath pass via hotpathFuncs; any trailing text
+		// is a free-form note.
+		return
+	case "allow", "allow-file":
+		pass, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		if pass == "" {
+			d.fail(pos, "hypertap:%s needs a pass name and a reason, e.g. //hypertap:%s wallclock real TCP heartbeat timing", verb, verb)
+			return
+		}
+		if !d.known[pass] {
+			d.fail(pos, "hypertap:%s names unknown pass %q (known: %s)", verb, pass, knownNames(d.known))
+			return
+		}
+		if strings.TrimSpace(reason) == "" {
+			d.fail(pos, "hypertap:%s %s is missing its reason — every escape must say why", verb, pass)
+			return
+		}
+		if verb == "allow-file" {
+			if d.file[pos.Filename] == nil {
+				d.file[pos.Filename] = make(map[string]bool)
+			}
+			d.file[pos.Filename][pass] = true
+		} else {
+			d.line[allowKey{pos.Filename, pos.Line, pass}] = true
+		}
+	default:
+		d.fail(pos, "unknown directive hypertap:%s (known: allow, allow-file, hotpath)", verb)
+	}
+}
+
+// fail records one malformed-directive finding.
+func (d *directiveSet) fail(pos token.Position, format string, args ...any) {
+	d.misuse = append(d.misuse, Finding{Pos: pos, Pass: DirectivePass, Msg: fmt.Sprintf(format, args...)})
+}
+
+// knownNames renders the sorted known pass names.
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// hotpathFuncs returns the function declarations in pkg marked with a
+// //hypertap:hotpath line in their doc comment.
+func hotpathFuncs(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				rest, ok := strings.CutPrefix(c.Text, "//"+directivePrefix+"hotpath")
+				if ok && (rest == "" || rest[0] == ' ') {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The eventsonly pass is DESIGN.md §7's "events are the truth" claim as a
+// compile gate: auditors consume core.Events plus the guest helper API
+// (memory reads rooted at TR/CR3) — never the Go-side simulator state.
+// That isolation is the reproduction's analogue of the hypervisor boundary
+// HyperTap's hardware invariants provide: if an auditor could peek at
+// simulator truth, its detections would stop meaning anything about what a
+// real out-of-VM monitor could see.
+
+// auditorPrefix scopes the pass to the auditor packages.
+const auditorPrefix = "hypertap/internal/auditors/"
+
+// guestPkgPath and hvPkgPath are the simulator-truth packages auditors may
+// only touch through the allow-list below.
+const (
+	guestPkgPath = "hypertap/internal/guest"
+	hvPkgPath    = "hypertap/internal/hv"
+)
+
+// allowedGuestExact lists guest symbols auditors may use by name: the
+// helper-API data types an out-of-VM monitor would define for itself.
+var allowedGuestExact = map[string]bool{
+	// Task and process records produced by the helper API / VMI walks.
+	"ProcEntry": true,
+	"ProcStat":  true,
+	// The syscall-number type and the I/O syscall classification table.
+	"Syscall":    true,
+	"IOSyscalls": true,
+	// task_struct field interpretation.
+	"TaskState": true,
+}
+
+// allowedGuestPrefixes lists guest symbol families auditors may use: the
+// guest ABI an out-of-VM monitor must know to decode raw memory.
+var allowedGuestPrefixes = []string{
+	// task_struct / thread_info layout constants (paper Fig. 3's offsets).
+	"TaskOff",
+	"TaskFlag",
+	// TaskState values (StateRunnable, StateZombie, ...).
+	"State",
+	// Syscall numbers (SysRead, SysKill, ...).
+	"Sys",
+}
+
+// EventsOnly restricts auditor packages to the declared guest/hv surface.
+type EventsOnly struct{}
+
+// Name implements Pass.
+func (EventsOnly) Name() string { return "eventsonly" }
+
+// Doc implements Pass.
+func (EventsOnly) Doc() string {
+	return "Auditors consume only core.Events plus the guest helper API — never simulator-truth " +
+		"state — so detection results mean what they would mean for a real out-of-VM monitor. " +
+		"Only guest layout constants and helper-API types are allowed; any other reach into " +
+		"internal/guest or internal/hv is flagged. In-guest baseline agents (O-Ninja) opt " +
+		"out per file with //hypertap:allow-file eventsonly <reason>."
+}
+
+// allowedGuest reports whether a guest symbol is on the allow-list.
+func allowedGuest(name string) bool {
+	if allowedGuestExact[name] {
+		return true
+	}
+	for _, p := range allowedGuestPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Pass.
+func (e EventsOnly) Check(pkg *Package) []Finding {
+	if !strings.HasPrefix(pkg.ImportPath, auditorPrefix) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pkg.Info.Uses[id]
+			if !ok {
+				return true
+			}
+			// Only package-scope symbols are policed: fields and methods of
+			// an allowed type (entry.PID on a guest.ProcEntry) come with the
+			// type, and a disallowed type is flagged where it is named.
+			if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			switch objPkgPath(obj) {
+			case guestPkgPath:
+				if allowedGuest(obj.Name()) {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(id.Pos()),
+					Pass: e.Name(),
+					Msg: "auditor reaches into simulator truth: guest." + obj.Name() +
+						" is not on the helper-API allow-list (events are the truth — consume " +
+						"core.Events; //hypertap:allow-file eventsonly <reason> for in-guest agents)",
+				})
+			case hvPkgPath:
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(id.Pos()),
+					Pass: e.Name(),
+					Msg: "auditor reaches into the hypervisor model: hv." + obj.Name() +
+						" (auditors see the machine only through core.Events and the helper API)",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

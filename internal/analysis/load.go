@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages without golang.org/x/tools: it
+// shells out to `go list -export -deps -json` once to learn package
+// metadata and compiled export data for every dependency, then type-checks
+// the module's own packages from source with the stdlib gc importer
+// resolving imports from that export map. Everything runs offline against
+// the already-installed toolchain.
+type Loader struct {
+	fset *token.FileSet
+	// exports maps import path → export-data file for every dependency.
+	exports map[string]string
+	imp     types.Importer
+	// targets are the packages matched by the load patterns (not DepOnly),
+	// in `go list` order.
+	targets []*listPkg
+}
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *listPkgError
+}
+
+// listPkgError is go list's per-package error report.
+type listPkgError struct {
+	Err string
+}
+
+// NewLoader runs `go list` in dir over patterns (typically "./...") and
+// returns a loader ready to type-check the matched packages.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			pp := p
+			l.targets = append(l.targets, &pp)
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l, nil
+}
+
+// lookup feeds compiled export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	exp, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(exp)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Packages type-checks and returns every matched package, sorted by import
+// path. Only non-test GoFiles are parsed — see the package comment.
+func (l *Loader) Packages() ([]*Package, error) {
+	pkgs := make([]*Package, 0, len(l.targets))
+	for _, t := range l.targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every .go file in dir as one package with
+// the given import path. The analyzer's fixture tests use it to present
+// testdata packages to passes under realistic import paths.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses files and type-checks them as importPath.
+func (l *Loader) check(importPath, dir string, files []string) (*Package, error) {
+	asts := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, asts, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, firstErr)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      asts,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

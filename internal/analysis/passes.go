@@ -1,0 +1,11 @@
+package analysis
+
+// AllPasses returns every hypertap-vet pass, in report order.
+func AllPasses() []Pass {
+	return []Pass{
+		Wallclock{},
+		SeededRand{},
+		EventsOnly{},
+		Hotpath{},
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededRandOK are the math/rand package-level functions that construct
+// explicitly seeded generators rather than consuming the global source.
+var seededRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// SeededRand forbids the global math/rand source everywhere in the module:
+// rand.Intn and friends draw from process-global state that any package can
+// perturb, so two runs of the "same" experiment diverge even with identical
+// seeds. Callers must plumb a *rand.Rand derived from the campaign or
+// experiment seed instead.
+type SeededRand struct{}
+
+// Name implements Pass.
+func (SeededRand) Name() string { return "seededrand" }
+
+// Doc implements Pass.
+func (SeededRand) Doc() string {
+	return "Top-level math/rand functions (rand.Intn, rand.Float64, ...) consume the shared " +
+		"global source, so experiment output stops being a function of its seed. Inject a " +
+		"*rand.Rand built with rand.New(rand.NewSource(seed)) instead."
+}
+
+// Check implements Pass.
+func (s SeededRand) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := usedFunc(pkg.Info, id)
+			if fn == nil || seededRandOK[fn.Name()] {
+				return true
+			}
+			if p := objPkgPath(fn); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand are the injected-generator API — allowed.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(id.Pos()),
+				Pass: s.Name(),
+				Msg: "rand." + fn.Name() + " draws from the global, shared source; plumb a *rand.Rand " +
+					"seeded from the experiment seed so runs stay reproducible",
+			})
+			return true
+		})
+	}
+	return out
+}

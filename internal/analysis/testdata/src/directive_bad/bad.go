@@ -1,0 +1,10 @@
+// Package fixture exercises directive misuse: a typo in a pass name or a
+// missing reason must surface as a finding instead of silently disabling
+// the gate.
+package fixture
+
+//hypertap:allow wallclok typo in the pass name
+//hypertap:allow
+//hypertap:allow-file
+//hypertap:frobnicate unknown verb
+func directives() {}

@@ -1,0 +1,21 @@
+// Package fixture is loaded under an auditors/ import path: it may consume
+// the declared guest-facts allow-list (ProcEntry, IOSyscalls, TaskFlag*...)
+// but reaching for kernel internals (guest.Config) or the hypervisor
+// (hv.*) breaks the out-of-VM isolation boundary and is reported.
+package fixture
+
+import (
+	"hypertap/internal/guest"
+	"hypertap/internal/hv"
+)
+
+func uses(entries []guest.ProcEntry) int {
+	var cfg guest.Config
+	_ = cfg
+	m, _ := hv.New(hv.Config{})
+	_ = m
+	if guest.TaskFlagKernelThread != 0 && len(guest.IOSyscalls) > 0 {
+		return len(entries)
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+// Package fixture exercises the file-scope escape: one allow-file directive
+// suppresses every eventsonly finding in this file (and only this file).
+package fixture
+
+//hypertap:allow-file eventsonly fixture stands in for a baseline agent that deliberately lives inside the guest
+
+import "hypertap/internal/guest"
+
+func peek() (guest.Config, error) {
+	k, err := guest.New(guest.Config{})
+	_ = k
+	return guest.Config{}, err
+}

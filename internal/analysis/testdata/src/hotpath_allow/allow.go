@@ -1,0 +1,17 @@
+// Package fixture exercises hotpath escapes: an audited lock on the hot
+// path carries an allow with its justification.
+package fixture
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	v  int64
+}
+
+//hypertap:hotpath
+func (g *gauge) set(v int64) {
+	g.mu.Lock() //hypertap:allow hotpath single uncontended lock is this fixture's concurrency contract
+	g.v = v
+	g.mu.Unlock()
+}

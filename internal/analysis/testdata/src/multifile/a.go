@@ -1,0 +1,12 @@
+// Package fixture spans two files: the allow-file directive in this file
+// must suppress findings here without leaking into b.go.
+package fixture
+
+//hypertap:allow-file wallclock this file models the real-time edge of the fixture
+
+import "time"
+
+func fromA() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

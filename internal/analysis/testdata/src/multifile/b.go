@@ -1,0 +1,7 @@
+package fixture
+
+import "time"
+
+func fromB() time.Time {
+	return time.Now()
+}

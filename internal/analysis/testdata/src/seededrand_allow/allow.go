@@ -1,0 +1,12 @@
+// Package fixture exercises seededrand escapes and the misuse reporter:
+// a well-formed allow suppresses, an allow without a reason does not.
+package fixture
+
+import "math/rand"
+
+func escapes() int {
+	a := rand.Intn(3) //hypertap:allow seededrand fixture exercises the escape hatch
+
+	b := rand.Intn(3) //hypertap:allow seededrand
+	return a + b
+}

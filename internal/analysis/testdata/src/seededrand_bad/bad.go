@@ -1,0 +1,17 @@
+// Package fixture exercises the seededrand pass: top-level math/rand
+// functions are reported anywhere in the module; injected *rand.Rand
+// generators are the sanctioned replacement.
+package fixture
+
+import "math/rand"
+
+func violations() float64 {
+	n := rand.Intn(10)
+	rand.Shuffle(n, func(i, j int) {})
+	return rand.Float64()
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

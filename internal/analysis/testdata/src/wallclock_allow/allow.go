@@ -1,0 +1,15 @@
+// Package fixture exercises wallclock escape comments: trailing same-line,
+// comment-above, and an allow for the wrong pass (which must not suppress).
+package fixture
+
+import "time"
+
+func escapes() time.Duration {
+	start := time.Now() //hypertap:allow wallclock real heartbeat timestamps for the fixture
+
+	//hypertap:allow wallclock comment-above placement also suppresses
+	time.Sleep(time.Millisecond)
+
+	end := time.Now() //hypertap:allow seededrand wrong pass name leaves the wallclock finding live
+	return end.Sub(start)
+}

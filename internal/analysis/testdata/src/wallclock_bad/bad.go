@@ -1,0 +1,19 @@
+// Package fixture exercises the wallclock pass: every forbidden time
+// function in a deterministic package is reported.
+package fixture
+
+import "time"
+
+func violations() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	t := time.NewTicker(time.Second)
+	t.Stop()
+	return time.Since(start)
+}
+
+// durations only: time the type and constants are fine, reads are not.
+func clean() time.Duration {
+	return 3 * time.Second
+}

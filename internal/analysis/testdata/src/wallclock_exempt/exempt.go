@@ -1,0 +1,10 @@
+// Package fixture is loaded under a cmd/ import path: CLI progress output
+// legitimately runs in wall time, so the wallclock pass does not apply.
+package fixture
+
+import "time"
+
+func progress() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,40 @@
+package goshd
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/telemetry"
+	"hypertap/internal/vclock"
+)
+
+// TestDeterministicLatencyClock swaps the package wall clock for a stepping
+// fake and checks the scan-latency telemetry becomes exactly reproducible —
+// the reason wallNow is a variable rather than a direct time.Now call.
+func TestDeterministicLatencyClock(t *testing.T) {
+	var calls int
+	wallNow = func() time.Time {
+		calls++
+		return time.Unix(0, int64(calls)*int64(time.Millisecond))
+	}
+	defer func() { wallNow = time.Now }()
+
+	clock := &vclock.Clock{}
+	d := newDetector(t, clock, 1, time.Second)
+	reg := telemetry.NewRegistry()
+	d.EnableTelemetry(reg)
+	d.Start()
+
+	// Let the watchdog fire once: one scan, two clock reads, 1ms apart.
+	clock.Advance(2 * time.Second)
+	if len(d.Alarms()) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(d.Alarms()))
+	}
+	hs := reg.Histogram("hypertap_goshd_scan_seconds").Snapshot()
+	if hs.Count != 1 {
+		t.Fatalf("latency observations = %d, want 1", hs.Count)
+	}
+	if hs.Max != time.Millisecond {
+		t.Fatalf("latency = %v, want exactly 1ms from the fake clock", hs.Max)
+	}
+}

@@ -23,6 +23,12 @@ import (
 	"hypertap/internal/vclock"
 )
 
+// wallNow supplies wall-clock time for telemetry latency sampling — the one
+// legitimately real-time read in this package, measuring the true cost of a
+// watchdog scan. It is a package variable so tests can substitute a
+// deterministic clock.
+var wallNow = time.Now //hypertap:allow wallclock latency sampling measures real scan cost; swappable in tests
+
 // HangAlarm reports one vCPU hang detection.
 type HangAlarm struct {
 	// VCPU is the hung virtual CPU.
@@ -160,14 +166,14 @@ func (d *Detector) HandleEvent(ev *core.Event) {
 
 // onSilence fires when a vCPU has been switch-silent for the threshold.
 func (d *Detector) onSilence(vcpu int, now time.Duration) {
-	start := time.Now()
+	start := wallNow()
 	d.mu.Lock()
 	tel := d.tel
 	if d.hung[vcpu] {
 		d.mu.Unlock()
 		if tel != nil {
 			tel.scans.Inc()
-			tel.latency.Observe(time.Since(start))
+			tel.latency.Observe(wallNow().Sub(start))
 		}
 		return
 	}
@@ -181,7 +187,7 @@ func (d *Detector) onSilence(vcpu int, now time.Duration) {
 	if tel != nil {
 		tel.scans.Inc()
 		tel.alarmsC.Inc()
-		tel.latency.Observe(time.Since(start))
+		tel.latency.Observe(wallNow().Sub(start))
 	}
 	if onHang != nil {
 		onHang(alarm)

@@ -1,0 +1,67 @@
+package hrkd
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+	"hypertap/internal/telemetry"
+)
+
+// stubView is the minimal GuestView a cross-check against an explicit task
+// list touches: only Now (for the report timestamp).
+type stubView struct{}
+
+func (stubView) NumVCPUs() int                                          { return 1 }
+func (stubView) Regs(int) arch.RegisterFile                             { return arch.RegisterFile{} }
+func (stubView) ReadGPA(arch.GPA, []byte) error                         { return nil }
+func (stubView) ReadU64GPA(arch.GPA) (uint64, error)                    { return 0, nil }
+func (stubView) ReadU32GPA(arch.GPA) (uint32, error)                    { return 0, nil }
+func (stubView) TranslateGVA(arch.GPA, arch.GVA) (arch.GPA, bool)       { return 0, false }
+func (stubView) ReadU64GVA(arch.GPA, arch.GVA) (uint64, error)          { return 0, nil }
+func (stubView) ReadU32GVA(arch.GPA, arch.GVA) (uint32, error)          { return 0, nil }
+func (stubView) ReadCStringGVA(arch.GPA, arch.GVA, int) (string, error) { return "", nil }
+func (stubView) Now() time.Duration                                     { return 0 }
+func (stubView) PauseVM()                                               {}
+func (stubView) ResumeVM()                                              {}
+func (stubView) Paused() bool                                           { return false }
+
+var _ core.GuestView = stubView{}
+
+// stubCounter is a fixed Fig. 3A process count.
+type stubCounter int
+
+func (c stubCounter) CountProcesses() int { return int(c) }
+
+// TestDeterministicLatencyClock swaps the package wall clock for a stepping
+// fake and checks the cross-check latency telemetry becomes exactly
+// reproducible — the reason wallNow is a variable rather than time.Now.
+func TestDeterministicLatencyClock(t *testing.T) {
+	var calls int
+	wallNow = func() time.Time {
+		calls++
+		return time.Unix(0, int64(calls)*int64(time.Millisecond))
+	}
+	defer func() { wallNow = time.Now }()
+
+	d := &Detector{
+		cfg:  Config{View: stubView{}, Counter: stubCounter(1), Window: 2 * time.Second},
+		seen: make(map[arch.GVA]*SeenThread),
+	}
+	reg := telemetry.NewRegistry()
+	d.EnableTelemetry(reg)
+
+	report := d.CrossCheckAgainst([]guest.ProcEntry{{PID: 1, Comm: "init"}})
+	if report.Detected() {
+		t.Fatalf("unexpected findings: %+v", report.Hidden)
+	}
+	hs := reg.Histogram("hypertap_hrkd_crossview_seconds").Snapshot()
+	if hs.Count != 1 {
+		t.Fatalf("latency observations = %d, want 1", hs.Count)
+	}
+	if hs.Max != time.Millisecond {
+		t.Fatalf("latency = %v, want exactly 1ms from the fake clock", hs.Max)
+	}
+}

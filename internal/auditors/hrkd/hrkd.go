@@ -30,6 +30,12 @@ import (
 	"hypertap/internal/vmi"
 )
 
+// wallNow supplies wall-clock time for telemetry latency sampling — the one
+// legitimately real-time read in this package, measuring the true cost of a
+// cross-validation pass. It is a package variable so tests can substitute a
+// deterministic clock.
+var wallNow = time.Now //hypertap:allow wallclock latency sampling measures real cross-check cost; swappable in tests
+
 // ProcessCounter is the slice of the interception engine HRKD needs: the
 // Fig. 3A process-counting algorithm.
 type ProcessCounter interface {
@@ -204,7 +210,7 @@ func (d *Detector) CrossCheck() (*CrossViewReport, error) {
 // OS-invariant task listing — the VMI walk or an in-guest ps/Task Manager
 // report ("a trusted view that can be cross-validated against other views").
 func (d *Detector) CrossCheckAgainst(view []guest.ProcEntry) *CrossViewReport {
-	start := time.Now()
+	start := wallNow()
 	now := d.cfg.View.Now()
 	inView := make(map[int]bool, len(view))
 	for _, e := range view {
@@ -247,7 +253,7 @@ func (d *Detector) CrossCheckAgainst(view []guest.ProcEntry) *CrossViewReport {
 	if d.tel != nil {
 		d.tel.checks.Inc()
 		d.tel.hidden.Add(uint64(len(report.Hidden)))
-		d.tel.latency.Observe(time.Since(start))
+		d.tel.latency.Observe(wallNow().Sub(start))
 	}
 	return report
 }

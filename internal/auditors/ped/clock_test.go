@@ -1,0 +1,40 @@
+package ped
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/telemetry"
+)
+
+// TestDeterministicLatencyClock swaps the package wall clock for a stepping
+// fake and checks the decision-latency telemetry becomes exactly
+// reproducible — the reason wallNow is a variable rather than time.Now.
+func TestDeterministicLatencyClock(t *testing.T) {
+	var calls int
+	wallNow = func() time.Time {
+		calls++
+		return time.Unix(0, int64(calls)*int64(time.Millisecond))
+	}
+	defer func() { wallNow = time.Now }()
+
+	n := &HTNinja{}
+	reg := telemetry.NewRegistry()
+	n.EnableTelemetry(reg)
+
+	// CR3 of 0 makes the policy evaluation a pure no-op, so the only
+	// latency contribution is the two fake clock reads, 1ms apart.
+	n.checkRSP0(&core.Event{}, 0, "test")
+
+	hs := reg.Histogram("hypertap_ped_decision_seconds").Snapshot()
+	if hs.Count != 1 {
+		t.Fatalf("latency observations = %d, want 1", hs.Count)
+	}
+	if hs.Max != time.Millisecond {
+		t.Fatalf("latency = %v, want exactly 1ms from the fake clock", hs.Max)
+	}
+	if got := reg.Counter("hypertap_ped_policy_decisions_total").Value(); got != 1 {
+		t.Fatalf("decisions = %d, want 1", got)
+	}
+}

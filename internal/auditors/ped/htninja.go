@@ -12,6 +12,12 @@ import (
 	"hypertap/internal/vmi"
 )
 
+// wallNow supplies wall-clock time for telemetry latency sampling — the one
+// legitimately real-time read in this package, measuring the true blocking
+// cost of a synchronous policy decision. It is a package variable so tests
+// can substitute a deterministic clock.
+var wallNow = time.Now //hypertap:allow wallclock latency sampling measures real decision cost; swappable in tests
+
 // HTNinja is the HyperTap privilege-escalation auditor: Ninja's rules
 // enforced by *active* monitoring on *architectural* invariants (§VII-C).
 //
@@ -138,10 +144,10 @@ func (n *HTNinja) checkCurrent(ev *core.Event, trigger string) {
 // rule, recording the decision count and latency when telemetry is on.
 func (n *HTNinja) checkRSP0(ev *core.Event, rsp0 arch.GVA, trigger string) {
 	if tel := n.tel; tel != nil {
-		start := time.Now()
+		start := wallNow()
 		detected := n.evalRSP0(ev, rsp0, trigger)
 		tel.decisions.Inc()
-		tel.latency.Observe(time.Since(start))
+		tel.latency.Observe(wallNow().Sub(start))
 		if detected {
 			tel.detections.Inc()
 		}

@@ -1,5 +1,7 @@
 package ped
 
+//hypertap:allow-file eventsonly O-Ninja is the paper's in-guest baseline agent, not an out-of-VM auditor: it is *built from* guest program steps so its scans run inside the VM, subject to hijacked syscalls and scheduling side channels
+
 import (
 	"sync"
 	"time"

@@ -205,8 +205,10 @@ func (m *Multiplexer) SetSampler(n uint64, fn func(ev *Event)) {
 
 // Publish delivers one event: synchronous subscribers run inline (vCPU still
 // suspended); asynchronous subscribers get a queued copy.
+//
+//hypertap:hotpath
 func (m *Multiplexer) Publish(ev *Event) {
-	m.mu.Lock()
+	m.mu.Lock() //hypertap:allow hotpath the EM is the multi-producer fan-out point; one uncontended lock is its concurrency contract
 	m.published++
 	tel := m.tel
 	// Latency sampling decision, taken while m.published is stable.
@@ -216,7 +218,7 @@ func (m *Multiplexer) Publish(ev *Event) {
 		evCopy := *ev
 		m.mu.Unlock()
 		sampler(&evCopy)
-		m.mu.Lock()
+		m.mu.Lock() //hypertap:allow hotpath re-entry after the RHC sampler ran unlocked; taken once per sampleEvery events
 	}
 	var syncSubs []*subscription
 	queuedAny := false
@@ -226,7 +228,7 @@ func (m *Multiplexer) Publish(ev *Event) {
 		}
 		switch s.mode {
 		case DeliverSync:
-			syncSubs = append(syncSubs, s)
+			syncSubs = append(syncSubs, s) //hypertap:allow hotpath bounded by subscriber count; sync delivery must run outside the lock so the set is snapshotted
 		case DeliverAsync:
 			if s.count == len(s.ring) {
 				s.dropped++
@@ -258,10 +260,10 @@ func (m *Multiplexer) Publish(ev *Event) {
 	// (e.g., to pause the VM through their GuestView).
 	if timeSync {
 		// Chained clock reads: n+1 reads time n handlers back to back.
-		prev := time.Now()
+		prev := time.Now() //hypertap:allow wallclock latency sampling measures real handler cost (every 64th event)
 		for _, s := range syncSubs {
 			s.auditor.HandleEvent(ev)
-			now := time.Now()
+			now := time.Now() //hypertap:allow wallclock latency sampling measures real handler cost (every 64th event)
 			if s.hist != nil {
 				s.hist.Observe(now.Sub(prev))
 			}
@@ -275,7 +277,7 @@ func (m *Multiplexer) Publish(ev *Event) {
 	if len(syncSubs) > 0 {
 		// Fold delivery accounting in under one lock acquisition rather
 		// than re-locking once per subscriber.
-		m.mu.Lock()
+		m.mu.Lock() //hypertap:allow hotpath single accounting fold per publish, only when sync subscribers exist
 		for _, s := range syncSubs {
 			s.delivered++
 		}
@@ -332,9 +334,9 @@ func (m *Multiplexer) Dispatch(max int) int {
 		for i := range batch {
 			it := &batch[i]
 			if tel != nil && it.s.hist != nil && i%latencySampleEvery == 0 {
-				start := time.Now()
+				start := time.Now() //hypertap:allow wallclock latency sampling measures real handler cost (every 64th drain)
 				it.s.auditor.HandleEvent(&it.ev)
-				it.s.hist.Observe(time.Since(start))
+				it.s.hist.Observe(time.Since(start)) //hypertap:allow wallclock latency sampling measures real handler cost (every 64th drain)
 			} else {
 				it.s.auditor.HandleEvent(&it.ev)
 			}

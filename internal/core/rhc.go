@@ -112,7 +112,7 @@ func (s *RHCServer) EnableTelemetry(reg *telemetry.Registry) {
 // longer than the alert threshold. A VM that never heartbeat is not
 // reported — the RHC can only miss what it once received.
 func (s *RHCServer) Health() error {
-	now := time.Now()
+	now := time.Now() //hypertap:allow wallclock the RHC is the real-time side of the system: heartbeat staleness is judged in wall time
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for vm, hb := range s.lastBeat {
@@ -180,7 +180,7 @@ func (s *RHCServer) serveConn(conn net.Conn) {
 	go func() {
 		select {
 		case <-s.done:
-			_ = conn.SetReadDeadline(time.Now())
+			_ = conn.SetReadDeadline(time.Now()) //hypertap:allow wallclock real TCP deadline to unblock the reader on shutdown
 		case <-stop:
 		}
 	}()
@@ -191,7 +191,7 @@ func (s *RHCServer) serveConn(conn net.Conn) {
 		if err != nil {
 			continue // tolerate malformed lines
 		}
-		hb.Received = time.Now()
+		hb.Received = time.Now() //hypertap:allow wallclock heartbeat receive timestamps are real network-arrival times
 		s.mu.Lock()
 		s.last[hb.VM] = hb.Received
 		s.lastBeat[hb.VM] = hb
@@ -210,7 +210,7 @@ func (s *RHCServer) watchdog() {
 	if interval < time.Millisecond {
 		interval = time.Millisecond
 	}
-	ticker := time.NewTicker(interval)
+	ticker := time.NewTicker(interval) //hypertap:allow wallclock the watchdog polls heartbeat liveness in wall time over real TCP
 	defer ticker.Stop()
 	for {
 		select {
@@ -289,7 +289,7 @@ func DialRHC(vm, addr string) (*RHCClient, error) {
 func (c *RHCClient) Send(ev *Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_ = c.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	_ = c.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond)) //hypertap:allow wallclock real TCP write deadline keeps the logging path non-blocking
 	if _, err := fmt.Fprintf(c.conn, "%s %d %d\n", c.vm, ev.Seq, int64(ev.Time)); err == nil {
 		c.sent++
 	}

@@ -19,7 +19,11 @@ func TestNinjaDemosSmoke(t *testing.T) {
 }
 
 func TestShowdownSmoke(t *testing.T) {
-	cells, err := RunNinjaShowdown(ShowdownConfig{Reps: 30, Seed: 3})
+	reps := 30
+	if testing.Short() {
+		reps = 8
+	}
+	cells, err := RunNinjaShowdown(ShowdownConfig{Reps: reps, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,9 +8,15 @@ import (
 )
 
 func TestParallelCampaignMatchesSerial(t *testing.T) {
+	sampleEvery := 48
+	if testing.Short() {
+		// The race-checked `make check` leg runs with -short: a handful of
+		// fault sites still exercises the worker fan-out determinism.
+		sampleEvery = 128
+	}
 	run := func(par int) *GOSHDResult {
 		r, err := RunGOSHDCampaign(GOSHDConfig{
-			SampleEvery:  48,
+			SampleEvery:  sampleEvery,
 			Workloads:    []string{"make -j2"},
 			Kernels:      []bool{false},
 			Persistences: []inject.Persistence{inject.Persistent},

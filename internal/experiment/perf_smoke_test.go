@@ -3,7 +3,7 @@ package experiment
 import "testing"
 
 func TestPerfSmoke(t *testing.T) {
-	r, err := RunPerfOverhead(PerfConfig{Scale: 1, Seed: 2, IncludeAblation: true})
+	r, err := RunPerfOverhead(PerfConfig{Scale: 1, Seed: 2, IncludeAblation: !testing.Short()})
 	if err != nil {
 		t.Fatal(err)
 	}

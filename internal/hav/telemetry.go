@@ -22,6 +22,8 @@ func NewExitCounters(reg *telemetry.Registry) *ExitCounters {
 }
 
 // Record counts one exit.
+//
+//hypertap:hotpath
 func (c *ExitCounters) Record(exit *Exit) {
 	if int(exit.Reason) < len(c.byReason) {
 		if ctr := c.byReason[exit.Reason]; ctr != nil {

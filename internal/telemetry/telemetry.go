@@ -46,9 +46,13 @@ type Counter struct {
 }
 
 // Inc adds one. A single atomic add: safe on any hot path.
+//
+//hypertap:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add increments by n.
+//
+//hypertap:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -60,10 +64,14 @@ type Gauge struct {
 }
 
 // Set stores v. A single atomic store.
+//
+//hypertap:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // SetMax raises the gauge to v if v exceeds the current value — the
 // high-water-mark update.
+//
+//hypertap:hotpath
 func (g *Gauge) SetMax(v float64) {
 	for {
 		cur := g.bits.Load()
@@ -77,6 +85,8 @@ func (g *Gauge) SetMax(v float64) {
 }
 
 // Add increments the gauge by delta (may be negative).
+//
+//hypertap:hotpath
 func (g *Gauge) Add(delta float64) {
 	for {
 		cur := g.bits.Load()
