@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet vet-invariants race bench-telemetry
+.PHONY: all build test check fmt vet vet-invariants race equivalence bench-telemetry bench-parallel
 
 all: build
 
@@ -17,7 +17,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: vet vet-invariants fmt race
+check: vet vet-invariants fmt race equivalence
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,16 @@ fmt:
 race:
 	$(GO) test -race -short ./internal/core/... ./internal/telemetry/... ./internal/experiment/... ./internal/hv/...
 
+# The serial≡parallel equivalence suite for the sharded campaign engine:
+# GOMAXPROCS=4 forces real scheduling interleavings even on small runners,
+# and -race turns any unserialized progress/telemetry access into a failure.
+equivalence:
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestParallelMatchesSerial|TestShowdownUnitIsolation' ./internal/experiment ./internal/experiment/runner
+
 # Regenerate the telemetry micro-benchmark numbers (see results/BENCH_telemetry.json).
 bench-telemetry:
 	$(GO) test -run xxx -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkEventPublish$$|BenchmarkEventPublishInstrumented' -benchtime 2s .
+
+# Regenerate the campaign-engine speedup numbers (see results/BENCH_parallel.json).
+bench-parallel:
+	$(GO) run ./cmd/parallel-bench -out results/BENCH_parallel.json

@@ -85,7 +85,7 @@ func BenchmarkFig5_GOSHDLatency(b *testing.B) {
 // detection count (paper: 10/10).
 func BenchmarkTableII_HRKD(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiment.RunHRKDMatrix(1)
+		r, err := experiment.RunHRKDMatrix(experiment.HRKDConfig{Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +105,9 @@ func BenchmarkTableII_HRKD(b *testing.B) {
 // (paper: mean 1.00039s, SD 0.00071s).
 func BenchmarkTableIII_SideChannel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.RunSideChannelTable([]time.Duration{time.Second}, 20, 1)
+		rows, err := experiment.RunSideChannelTable(experiment.SideChannelConfig{
+			Intervals: []time.Duration{time.Second}, Samples: 20, Seed: 1,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -21,10 +21,11 @@ func main() {
 
 func run() error {
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	parallel := flag.Int("parallel", 0, "concurrent rootkit evaluations (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of the table")
 	flag.Parse()
 
-	result, err := experiment.RunHRKDMatrix(*seed)
+	result, err := experiment.RunHRKDMatrix(experiment.HRKDConfig{Seed: *seed, Parallel: *parallel})
 	if err != nil {
 		return err
 	}

@@ -30,13 +30,16 @@ func run() error {
 		reps        = flag.Int("reps", 300, "attack repetitions per showdown cell (paper: 300)")
 		samples     = flag.Int("samples", 30, "side-channel samples per interval (paper: 30)")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
+		parallel    = flag.Int("parallel", 0, "concurrent attack reps / measurements (0 = GOMAXPROCS)")
 		jsonOut     = flag.Bool("json", false, "emit JSON instead of tables")
 		quiet       = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
 	if *sidechannel {
-		rows, err := experiment.RunSideChannelTable(nil, *samples, *seed)
+		rows, err := experiment.RunSideChannelTable(experiment.SideChannelConfig{
+			Samples: *samples, Seed: *seed, Parallel: *parallel,
+		})
 		if err != nil {
 			return err
 		}
@@ -64,7 +67,7 @@ func run() error {
 		}
 	}
 	if *showdown {
-		cfg := experiment.ShowdownConfig{Reps: *reps, Seed: *seed}
+		cfg := experiment.ShowdownConfig{Reps: *reps, Seed: *seed, Parallel: *parallel}
 		if !*quiet {
 			start := time.Now()
 			cfg.Progress = func(done, total int) {
@@ -90,7 +93,7 @@ func run() error {
 		}
 	}
 	if *sweep {
-		cfg := experiment.SweepConfig{Reps: *reps / 3, Seed: *seed}
+		cfg := experiment.SweepConfig{Reps: *reps / 3, Seed: *seed, Parallel: *parallel}
 		if cfg.Reps < 20 {
 			cfg.Reps = 20
 		}

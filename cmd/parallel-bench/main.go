@@ -1,0 +1,123 @@
+// Command parallel-bench measures the wall-clock speedup of the sharded
+// campaign engine (internal/experiment/runner). It runs a GOSHD campaign
+// subset and the Ninja showdown at 1, 2, 4 and 8 workers and writes the
+// timings — plus the host's CPU count, without which a speedup number is
+// meaningless — to a JSON report (results/BENCH_parallel.json in the repo).
+//
+// The campaigns are deterministic, so every worker count computes the
+// identical result; only the wall-clock differs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hypertap/internal/experiment"
+	"hypertap/internal/inject"
+)
+
+type run struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"`
+}
+
+type benchmark struct {
+	Name  string `json:"name"`
+	Units int    `json:"units"`
+	Runs  []run  `json:"runs"`
+}
+
+type report struct {
+	CPUs       int         `json:"cpus"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := bench(); err != nil {
+		fmt.Fprintln(os.Stderr, "parallel-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func bench() error {
+	var (
+		out   = flag.String("out", "", "write the JSON report here (default stdout)")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+		reps  = flag.Int("reps", 120, "showdown repetitions per cell")
+		every = flag.Int("goshd-sample", 8, "GOSHD site sampling stride (as -scale quick)")
+	)
+	flag.Parse()
+
+	workers := []int{1, 2, 4, 8}
+	rep := report{CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if rep.CPUs < workers[len(workers)-1] {
+		rep.Note = fmt.Sprintf("host has only %d CPU(s): worker counts beyond that measure "+
+			"scheduling overhead, not parallel speedup — rerun on multicore hardware", rep.CPUs)
+	}
+
+	goshd := benchmark{Name: "goshd-subset"}
+	for _, w := range workers {
+		units := 0
+		start := time.Now()
+		r, err := experiment.RunGOSHDCampaign(experiment.GOSHDConfig{
+			SampleEvery:  *every,
+			Workloads:    []string{"make -j2", "http"},
+			Kernels:      []bool{false},
+			Persistences: []inject.Persistence{inject.Persistent},
+			Seed:         *seed,
+			Parallel:     w,
+			Progress:     func(done, total int) { units = total },
+		})
+		if err != nil {
+			return err
+		}
+		goshd.Units = units
+		goshd.Runs = append(goshd.Runs, run{Workers: w, Seconds: time.Since(start).Seconds()})
+		_ = r
+		fmt.Fprintf(os.Stderr, "goshd-subset    workers=%d  %6.2fs  (%d units)\n",
+			w, goshd.Runs[len(goshd.Runs)-1].Seconds, units)
+	}
+
+	showdown := benchmark{Name: "ninja-showdown"}
+	for _, w := range workers {
+		start := time.Now()
+		cells, err := experiment.RunNinjaShowdown(experiment.ShowdownConfig{
+			Reps: *reps, Seed: *seed, Parallel: w,
+		})
+		if err != nil {
+			return err
+		}
+		showdown.Units = *reps * len(cells)
+		showdown.Runs = append(showdown.Runs, run{Workers: w, Seconds: time.Since(start).Seconds()})
+		fmt.Fprintf(os.Stderr, "ninja-showdown  workers=%d  %6.2fs  (%d units)\n",
+			w, showdown.Runs[len(showdown.Runs)-1].Seconds, showdown.Units)
+	}
+
+	for _, b := range []*benchmark{&goshd, &showdown} {
+		base := b.Runs[0].Seconds
+		for i := range b.Runs {
+			b.Runs[i].Speedup = base / b.Runs[i].Seconds
+		}
+	}
+	rep.Benchmarks = []benchmark{goshd, showdown}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -28,11 +28,12 @@ func run() error {
 		ablation = flag.Bool("ablation", true, "include the separate-stacks ablation")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of the table")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
+		parallel = flag.Int("parallel", 0, "concurrent measurements (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
-	cfg := experiment.PerfConfig{Scale: *scale, Seed: *seed, IncludeAblation: *ablation}
+	cfg := experiment.PerfConfig{Scale: *scale, Seed: *seed, IncludeAblation: *ablation, Parallel: *parallel}
 	if !*quiet {
 		start := time.Now()
 		cfg.Progress = func(done, total int) {

@@ -40,7 +40,7 @@ var deterministicPkgs = []string{
 	"hypertap/internal/core",
 	"hypertap/internal/core/intercept",
 	"hypertap/internal/telemetry",
-	"hypertap/internal/experiment",
+	"hypertap/internal/experiment/...",
 	"hypertap/internal/auditors/...",
 }
 

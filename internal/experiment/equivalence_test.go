@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"hypertap/internal/experiment/runner"
+	"hypertap/internal/inject"
+	"hypertap/internal/telemetry"
+)
+
+// The serial≡parallel equivalence suite: every harness that fans out over
+// the campaign engine must produce identical results — deep-equal structs
+// AND identical JSON bytes — at workers 1, 2 and 4 for the same seed.
+// `make check` runs this leg under -race with GOMAXPROCS=4, so scheduling
+// genuinely interleaves while the outputs are compared.
+
+// equivalenceCase runs one harness at a given worker count and returns its
+// result (for reflect.DeepEqual) plus its JSON encoding (for byte
+// identity — field order, float formatting, series order and all).
+type equivalenceCase struct {
+	name string
+	run  func(t *testing.T, parallel int) (result any, jsonBytes []byte)
+}
+
+func mustJSON(t *testing.T, write func(w io.Writer) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// canonicalizeTelemetry strips the wall-clock-derived content from latency
+// histograms: the sampled HandleEvent/scan timings are real durations (the
+// instrumentation's documented //hypertap:allow wallclock escapes), so
+// their sums and bucket placements vary between any two runs, serial or
+// not. The sample *counts* are deterministic (every 64th event) and stay.
+func canonicalizeTelemetry(s *telemetry.Snapshot) {
+	if s == nil {
+		return
+	}
+	for i := range s.Histograms {
+		h := &s.Histograms[i]
+		h.Sum, h.Max, h.P50, h.P90, h.P99 = 0, 0, 0, 0, 0
+		h.Buckets = nil
+	}
+}
+
+func equivalenceCases() []equivalenceCase {
+	goshdSample := 48
+	showdownReps := 12
+	sweepReps := 8
+	sideSamples := 10
+	if testing.Short() {
+		// The race-checked `make check` leg runs with -short: smaller
+		// campaigns still exercise the worker fan-out determinism.
+		goshdSample = 128
+		showdownReps = 5
+		sweepReps = 4
+		sideSamples = 6
+	}
+	return []equivalenceCase{
+		{"goshd-campaign", func(t *testing.T, parallel int) (any, []byte) {
+			// Telemetry on: the per-unit shard merge must be deterministic
+			// too, and it is part of the JSON report.
+			r, err := RunGOSHDCampaign(GOSHDConfig{
+				SampleEvery:  goshdSample,
+				Workloads:    []string{"make -j2"},
+				Kernels:      []bool{false},
+				Persistences: []inject.Persistence{inject.Persistent},
+				Seed:         7,
+				Parallel:     parallel,
+				Telemetry:    telemetry.NewRegistry(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			canonicalizeTelemetry(r.Telemetry)
+			return r, mustJSON(t, r.WriteJSON)
+		}},
+		{"hrkd-matrix", func(t *testing.T, parallel int) (any, []byte) {
+			r, err := RunHRKDMatrix(HRKDConfig{Seed: 5, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r, mustJSON(t, r.WriteJSON)
+		}},
+		{"ninja-showdown", func(t *testing.T, parallel int) (any, []byte) {
+			cells, err := RunNinjaShowdown(ShowdownConfig{
+				Reps:            showdownReps,
+				ONinjaSpam:      []int{0, 100},
+				HNinjaIntervals: []time.Duration{8 * time.Millisecond},
+				Seed:            3,
+				Parallel:        parallel,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cells, mustJSON(t, func(w io.Writer) error { return WriteShowdownJSON(w, cells) })
+		}},
+		{"side-channel", func(t *testing.T, parallel int) (any, []byte) {
+			rows, err := RunSideChannelTable(SideChannelConfig{
+				Intervals: []time.Duration{500 * time.Millisecond, time.Second},
+				Samples:   sideSamples,
+				Seed:      5,
+				Parallel:  parallel,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rows, mustJSON(t, func(w io.Writer) error { return WriteSideChannelJSON(w, rows) })
+		}},
+		{"hninja-interval-sweep", func(t *testing.T, parallel int) (any, []byte) {
+			points, err := RunHNinjaIntervalSweep(
+				[]time.Duration{4 * time.Millisecond, 16 * time.Millisecond},
+				SweepConfig{Reps: sweepReps, Seed: 9, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return points, mustJSON(t, func(w io.Writer) error { return encodeJSON(w, points) })
+		}},
+		{"oninja-spam-sweep", func(t *testing.T, parallel int) (any, []byte) {
+			points, err := RunONinjaSpamSweep([]int{0, 50},
+				SweepConfig{Reps: sweepReps, Seed: 9, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return points, mustJSON(t, func(w io.Writer) error { return encodeJSON(w, points) })
+		}},
+		{"perf-overhead", func(t *testing.T, parallel int) (any, []byte) {
+			r, err := RunPerfOverhead(PerfConfig{Scale: 1, Seed: 2, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r, mustJSON(t, r.WriteJSON)
+		}},
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, tc := range equivalenceCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serial, serialJSON := tc.run(t, 1)
+			for _, workers := range []int{2, 4} {
+				got, gotJSON := tc.run(t, workers)
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("workers=%d: result differs from serial\nserial:   %+v\nparallel: %+v",
+						workers, serial, got)
+				}
+				if !bytes.Equal(serialJSON, gotJSON) {
+					t.Errorf("workers=%d: JSON bytes differ from serial\nserial:\n%s\nparallel:\n%s",
+						workers, serialJSON, gotJSON)
+				}
+			}
+		})
+	}
+}
+
+// TestShowdownUnitIsolation pins the seed-splitting contract at harness
+// level: any single (cell, rep) unit of the showdown, re-run in isolation
+// with its split seed and RNG, reproduces its in-campaign verdict.
+func TestShowdownUnitIsolation(t *testing.T) {
+	reps := 6
+	cfg := ShowdownConfig{
+		Reps:            reps,
+		ONinjaSpam:      []int{0},
+		HNinjaIntervals: []time.Duration{8 * time.Millisecond},
+		Seed:            17,
+		Parallel:        4,
+	}
+	cells, err := RunNinjaShowdown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.fillDefaults()
+	specs := showdownCells(cfg)
+	for cellIdx, spec := range specs {
+		detected := 0
+		for rep := 0; rep < reps; rep++ {
+			unit := cellIdx*reps + rep
+			ok, err := spec.run(runner.UnitSeed(cfg.Seed, unit), runner.UnitRNG(cfg.Seed, unit))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				detected++
+			}
+		}
+		if detected != cells[cellIdx].Detected {
+			t.Errorf("%s %s: isolated reps detected %d, in-campaign %d",
+				spec.monitor, spec.param, detected, cells[cellIdx].Detected)
+		}
+	}
+}

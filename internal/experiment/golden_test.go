@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hypertap/internal/inject"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files in testdata/ from the current output")
+
+// The golden-regression suite pins the rendered experiment tables at reduced
+// scale and a fixed seed. Every harness is a pure function of its seed on
+// virtual time, so these byte-for-byte diffs catch any unintended change to
+// simulation behavior, aggregation, or formatting. After an *intended*
+// change, regenerate with:
+//
+//	go test ./internal/experiment -run TestGolden -update
+//
+// and review the golden diffs like any other code change.
+func goldenCases() []struct {
+	name string
+	gen  func(t *testing.T) string
+} {
+	return []struct {
+		name string
+		gen  func(t *testing.T) string
+	}{
+		{"goshd", func(t *testing.T) string {
+			r, err := RunGOSHDCampaign(GOSHDConfig{
+				SampleEvery:  96,
+				Workloads:    []string{"make -j2"},
+				Kernels:      []bool{false},
+				Persistences: []inject.Persistence{inject.Persistent, inject.Transient},
+				Seed:         7,
+				Parallel:     4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatGOSHD(r) + "\n" + FormatLatencyCDF(r)
+		}},
+		{"hrkd", func(t *testing.T) string {
+			r, err := RunHRKDMatrix(HRKDConfig{Seed: 5, Parallel: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatHRKD(r)
+		}},
+		{"showdown", func(t *testing.T) string {
+			cells, err := RunNinjaShowdown(ShowdownConfig{
+				Reps:            8,
+				ONinjaSpam:      []int{0, 100},
+				HNinjaIntervals: []time.Duration{8 * time.Millisecond, 64 * time.Millisecond},
+				Seed:            3,
+				Parallel:        4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatShowdown(cells)
+		}},
+		{"side_channel", func(t *testing.T) string {
+			rows, err := RunSideChannelTable(SideChannelConfig{
+				Intervals: []time.Duration{500 * time.Millisecond, time.Second},
+				Samples:   8,
+				Seed:      5,
+				Parallel:  4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatSideChannel(rows)
+		}},
+		{"sweeps", func(t *testing.T) string {
+			cfg := SweepConfig{Reps: 6, Seed: 9, Parallel: 4}
+			h, err := RunHNinjaIntervalSweep(
+				[]time.Duration{4 * time.Millisecond, 16 * time.Millisecond, 64 * time.Millisecond}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := RunONinjaSpamSweep([]int{0, 50, 200}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatSweep("H-Ninja interval sweep", h) + "\n" +
+				FormatSweep("O-Ninja spam sweep", o)
+		}},
+		{"perf", func(t *testing.T) string {
+			r, err := RunPerfOverhead(PerfConfig{Scale: 1, Seed: 2, Parallel: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatPerf(r)
+		}},
+		{"tablei", func(t *testing.T) string {
+			rows, err := RunTableI(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatTableI(rows)
+		}},
+		{"demos", func(t *testing.T) string {
+			rows, err := RunPassiveAttackDemos(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return FormatDemos(rows)
+		}},
+	}
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.gen(t)
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

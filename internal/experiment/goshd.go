@@ -7,15 +7,14 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"hypertap/internal/auditors/goshd"
 	"hypertap/internal/core"
 	"hypertap/internal/core/intercept"
+	"hypertap/internal/experiment/runner"
 	"hypertap/internal/guest"
 	"hypertap/internal/hv"
 	"hypertap/internal/inject"
@@ -52,13 +51,16 @@ type GOSHDConfig struct {
 	// deterministic regardless of parallelism: every run is an
 	// independent machine keyed by its own seed.
 	Parallel int
-	// Progress, when set, is called after each run.
+	// Progress, when set, is called after each run. Delivery is
+	// serialized by the campaign engine.
 	Progress func(done, total int)
-	// Telemetry, when set, instruments every campaign VM against this
-	// shared registry (series aggregate across runs) and attaches a final
-	// snapshot to the result. Metric values are campaign totals, not
-	// per-run; they feed the live -telemetry-addr endpoint and the JSON
-	// report of cmd/goshd-campaign.
+	// Telemetry, when set, instruments the campaign: every run's VM
+	// records into its own registry shard, each completed shard is
+	// absorbed into this live registry (so the -telemetry-addr endpoint
+	// shows campaign totals growing mid-run), and the result carries the
+	// deterministic unit-order merge of all shards. Counters and
+	// histograms are campaign totals; gauges are campaign high-water
+	// marks.
 	Telemetry *telemetry.Registry
 }
 
@@ -190,8 +192,13 @@ func RunGOSHDCampaign(cfg GOSHDConfig) (*GOSHDResult, error) {
 
 	result := &GOSHDResult{Cells: make(map[GOSHDCell]*GOSHDCellStats), Sites: len(selected)}
 
-	// Build the full run list, then execute it on a worker pool: every run
-	// is an independent VM, so parallelism changes only wall time.
+	// Build the full run list, then execute it on the shared campaign
+	// engine: every run is an independent VM, so parallelism changes only
+	// wall time. The per-run seed stays keyed by fault site (not unit
+	// index) — it predates the engine and pins the committed Fig. 4/5
+	// tables; it satisfies the same discipline, since each unit's
+	// randomness is a pure function of the campaign seed and the unit's
+	// own identity.
 	type job struct {
 		cell GOSHDCell
 		cfg  InjectionConfig
@@ -212,72 +219,46 @@ func RunGOSHDCampaign(cfg GOSHDConfig) (*GOSHDResult, error) {
 						Runway:      cfg.Runway,
 						Observe:     cfg.Observe,
 						Seed:        cfg.Seed + int64(site.ID),
-						Telemetry:   cfg.Telemetry,
 					}})
 				}
 			}
 		}
 	}
 
-	workers := cfg.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		done     int
-		wg       sync.WaitGroup
-	)
-	next := make(chan job)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for j := range next {
-				rr, err := RunInjection(j.cfg)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("experiment: injection %v at site %d: %w",
-						j.cell, j.cfg.Fault.Site, err)
-				}
-				if err == nil {
-					stats := result.Cells[j.cell]
-					stats.Counts[rr.Outcome]++
-					if lat, ok := rr.DetectionLatency(); ok {
-						stats.FirstLatencies = append(stats.FirstLatencies, lat)
-					}
-					if lat, ok := rr.FullHangLatency(); ok {
-						stats.FullLatencies = append(stats.FullLatencies, lat)
-					}
-					result.Runs++
-				}
-				done++
-				progress := cfg.Progress
-				total := len(jobs)
-				n := done
-				mu.Unlock()
-				if progress != nil {
-					progress(n, total)
-				}
+	campaign := runner.Campaign[inject.RunResult]{
+		Units:     len(jobs),
+		Parallel:  cfg.Parallel,
+		Seed:      cfg.Seed,
+		Progress:  cfg.Progress,
+		Telemetry: cfg.Telemetry != nil,
+		Live:      cfg.Telemetry,
+		Run: func(ctx *runner.Ctx) (inject.RunResult, error) {
+			j := jobs[ctx.Index]
+			j.cfg.Telemetry = ctx.Telemetry
+			rr, err := RunInjection(j.cfg)
+			if err != nil {
+				return rr, fmt.Errorf("experiment: injection %v at site %d: %w",
+					j.cell, j.cfg.Fault.Site, err)
 			}
-		}()
+			return rr, nil
+		},
 	}
-	for _, j := range jobs {
-		next <- j
+	res, err := campaign.Execute()
+	if err != nil {
+		return nil, err
 	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, rr := range res.Units {
+		stats := result.Cells[jobs[i].cell]
+		stats.Counts[rr.Outcome]++
+		if lat, ok := rr.DetectionLatency(); ok {
+			stats.FirstLatencies = append(stats.FirstLatencies, lat)
+		}
+		if lat, ok := rr.FullHangLatency(); ok {
+			stats.FullLatencies = append(stats.FullLatencies, lat)
+		}
+		result.Runs++
 	}
-	if cfg.Telemetry != nil {
-		snap := cfg.Telemetry.Snapshot()
-		result.Telemetry = &snap
-	}
+	result.Telemetry = res.Telemetry
 	return result, nil
 }
 

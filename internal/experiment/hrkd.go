@@ -8,6 +8,7 @@ import (
 	"hypertap/internal/auditors/hrkd"
 	"hypertap/internal/core"
 	"hypertap/internal/core/intercept"
+	"hypertap/internal/experiment/runner"
 	"hypertap/internal/guest"
 	"hypertap/internal/hv"
 	"hypertap/internal/malware"
@@ -51,20 +52,42 @@ func (r *HRKDResult) AllDetected() bool {
 	return true
 }
 
+// HRKDConfig parameterizes the Table II matrix.
+type HRKDConfig struct {
+	// Seed drives guest jitter; rootkit i runs at seed+i.
+	Seed int64
+	// Parallel is the number of rootkit evaluations run concurrently
+	// (each in its own VM). 0 selects GOMAXPROCS.
+	Parallel int
+	// Progress, when set, is called after each rootkit completes.
+	Progress func(done, total int)
+}
+
 // RunHRKDMatrix evaluates every catalog rootkit (Table II): boot a guest of
 // the rootkit's OS profile, run hidden malware, install the rootkit, and
 // cross-validate HRKD's architectural views against the in-guest and VMI
-// listings.
-func RunHRKDMatrix(seed int64) (*HRKDResult, error) {
-	result := &HRKDResult{}
-	for _, entry := range malware.Catalog() {
-		row, err := RunHRKDOnce(entry, seed)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: HRKD vs %s: %w", entry.Name, err)
-		}
-		result.Rows = append(result.Rows, *row)
+// listings. One work unit per rootkit.
+func RunHRKDMatrix(cfg HRKDConfig) (*HRKDResult, error) {
+	catalog := malware.Catalog()
+	campaign := runner.Campaign[HRKDRow]{
+		Units:    len(catalog),
+		Parallel: cfg.Parallel,
+		Seed:     cfg.Seed,
+		Progress: cfg.Progress,
+		Run: func(ctx *runner.Ctx) (HRKDRow, error) {
+			entry := catalog[ctx.Index]
+			row, err := RunHRKDOnce(entry, ctx.Seed)
+			if err != nil {
+				return HRKDRow{}, fmt.Errorf("experiment: HRKD vs %s: %w", entry.Name, err)
+			}
+			return *row, nil
+		},
 	}
-	return result, nil
+	res, err := campaign.Execute()
+	if err != nil {
+		return nil, err
+	}
+	return &HRKDResult{Rows: res.Units}, nil
 }
 
 // RunHRKDOnce evaluates one rootkit.

@@ -3,7 +3,7 @@ package experiment
 import "testing"
 
 func TestHRKDMatrixSmoke(t *testing.T) {
-	r, err := RunHRKDMatrix(5)
+	r, err := RunHRKDMatrix(HRKDConfig{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

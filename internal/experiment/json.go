@@ -3,6 +3,7 @@ package experiment
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"time"
 
 	"hypertap/internal/inject"
@@ -42,7 +43,15 @@ func (r *GOSHDResult) WriteJSON(w io.Writer) error {
 		PartialHangShare: r.PartialHangShare(),
 		Telemetry:        r.Telemetry,
 	}
-	for cell, stats := range r.Cells {
+	// Cells export in their display order — map iteration order would make
+	// the JSON bytes vary run to run even at a fixed seed.
+	cells := make([]GOSHDCell, 0, len(r.Cells))
+	for cell := range r.Cells {
+		cells = append(cells, cell)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].String() < cells[j].String() })
+	for _, cell := range cells {
+		stats := r.Cells[cell]
 		cj := goshdCellJSON{
 			Workload:    cell.Workload,
 			Preemptible: cell.Preemptible,

@@ -10,6 +10,7 @@ import (
 	"hypertap/internal/auditors/ped"
 	"hypertap/internal/core"
 	"hypertap/internal/core/intercept"
+	"hypertap/internal/experiment/runner"
 	"hypertap/internal/guest"
 	"hypertap/internal/hv"
 	"hypertap/internal/malware"
@@ -94,43 +95,70 @@ type SideChannelRow struct {
 	SD      time.Duration
 }
 
+// SideChannelConfig parameterizes the Table III measurement.
+type SideChannelConfig struct {
+	// Intervals are the nominal O-Ninja checking intervals to measure
+	// (default: the paper's 1/2/4/8 seconds).
+	Intervals []time.Duration
+	// Samples per interval (paper: 30).
+	Samples int
+	// Seed drives guest jitter; interval i runs at seed+i.
+	Seed int64
+	// Parallel is the number of intervals measured concurrently (each in
+	// its own VM). 0 selects GOMAXPROCS.
+	Parallel int
+	// Progress, when set, is called after each interval completes.
+	Progress func(done, total int)
+}
+
 // RunSideChannelTable reproduces Table III: an unprivileged observer
-// measures O-Ninja's checking interval through /proc/PID/stat.
-func RunSideChannelTable(intervals []time.Duration, samples int, seed int64) ([]SideChannelRow, error) {
-	if len(intervals) == 0 {
-		intervals = []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second}
+// measures O-Ninja's checking interval through /proc/PID/stat. One work
+// unit per interval.
+func RunSideChannelTable(cfg SideChannelConfig) ([]SideChannelRow, error) {
+	if len(cfg.Intervals) == 0 {
+		cfg.Intervals = []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second}
 	}
-	if samples <= 0 {
-		samples = 30
+	if cfg.Samples <= 0 {
+		cfg.Samples = 30
 	}
-	var rows []SideChannelRow
-	for _, interval := range intervals {
-		m, _, err := newPEDVM(seed, false)
-		if err != nil {
-			return nil, err
-		}
-		oninja := &ped.ONinja{
-			Policy:       ped.DefaultPolicy(),
-			Interval:     interval,
-			PerEntryCost: 150 * time.Microsecond,
-		}
-		ninjaTask, err := m.Kernel().CreateProcess(oninja.Spec(), nil)
-		if err != nil {
-			return nil, err
-		}
-		sc := &malware.SideChannel{TargetPID: ninjaTask.PID, Samples: samples}
-		if _, err := m.Kernel().CreateProcess(sc.Spec(), nil); err != nil {
-			return nil, err
-		}
-		budget := time.Duration(samples+4)*(interval+50*time.Millisecond) + 2*time.Second
-		m.RunUntil(budget, sc.Done)
-		measured := sc.Intervals()
-		if len(measured) == 0 {
-			return nil, fmt.Errorf("experiment: side channel measured nothing at interval %v", interval)
-		}
-		rows = append(rows, summarizeDurations(interval, measured))
+	campaign := runner.Campaign[SideChannelRow]{
+		Units:    len(cfg.Intervals),
+		Parallel: cfg.Parallel,
+		Seed:     cfg.Seed,
+		Progress: cfg.Progress,
+		Run: func(ctx *runner.Ctx) (SideChannelRow, error) {
+			interval := cfg.Intervals[ctx.Index]
+			m, _, err := newPEDVM(ctx.Seed, false)
+			if err != nil {
+				return SideChannelRow{}, err
+			}
+			oninja := &ped.ONinja{
+				Policy:       ped.DefaultPolicy(),
+				Interval:     interval,
+				PerEntryCost: 150 * time.Microsecond,
+			}
+			ninjaTask, err := m.Kernel().CreateProcess(oninja.Spec(), nil)
+			if err != nil {
+				return SideChannelRow{}, err
+			}
+			sc := &malware.SideChannel{TargetPID: ninjaTask.PID, Samples: cfg.Samples}
+			if _, err := m.Kernel().CreateProcess(sc.Spec(), nil); err != nil {
+				return SideChannelRow{}, err
+			}
+			budget := time.Duration(cfg.Samples+4)*(interval+50*time.Millisecond) + 2*time.Second
+			m.RunUntil(budget, sc.Done)
+			measured := sc.Intervals()
+			if len(measured) == 0 {
+				return SideChannelRow{}, fmt.Errorf("experiment: side channel measured nothing at interval %v", interval)
+			}
+			return summarizeDurations(interval, measured), nil
+		},
 	}
-	return rows, nil
+	res, err := campaign.Execute()
+	if err != nil {
+		return nil, err
+	}
+	return res.Units, nil
 }
 
 func summarizeDurations(nominal time.Duration, ds []time.Duration) SideChannelRow {
@@ -401,7 +429,11 @@ type ShowdownConfig struct {
 	// HNinjaIntervals are the polling intervals for the H-Ninja cells.
 	HNinjaIntervals []time.Duration
 	Seed            int64
-	// Progress, when set, is called after each rep.
+	// Parallel is the number of attack reps run concurrently (each in its
+	// own VM). 0 selects GOMAXPROCS.
+	Parallel int
+	// Progress, when set, is called after each rep. Delivery is
+	// serialized by the campaign engine.
 	Progress func(done, total int)
 }
 
@@ -420,66 +452,74 @@ func (c *ShowdownConfig) fillDefaults() {
 // baselineProcs is the paper's 31-process baseline population.
 const baselineProcs = 31
 
+// showdownCellSpec describes one showdown cell before its reps run.
+type showdownCellSpec struct {
+	monitor string
+	param   string
+	// run executes one rep of the cell's attack.
+	run func(seed int64, rng *rand.Rand) (bool, error)
+}
+
+// showdownCells expands the config into cell specs, in output order.
+func showdownCells(cfg ShowdownConfig) []showdownCellSpec {
+	var specs []showdownCellSpec
+	for _, spam := range cfg.ONinjaSpam {
+		spam := spam
+		specs = append(specs, showdownCellSpec{
+			monitor: "O-Ninja (0s interval)",
+			param:   fmt.Sprintf("%d idle procs", spam),
+			run: func(seed int64, rng *rand.Rand) (bool, error) {
+				return oneONinjaRep(seed, spam, rng)
+			},
+		})
+	}
+	for _, interval := range cfg.HNinjaIntervals {
+		interval := interval
+		specs = append(specs, showdownCellSpec{
+			monitor: "H-Ninja",
+			param:   fmt.Sprintf("%v interval", interval),
+			run: func(seed int64, rng *rand.Rand) (bool, error) {
+				return oneHNinjaRep(seed, interval, rng)
+			},
+		})
+	}
+	specs = append(specs, showdownCellSpec{
+		monitor: "HT-Ninja",
+		param:   "active",
+		run:     oneHTNinjaRep,
+	})
+	return specs
+}
+
 // RunNinjaShowdown measures detection probabilities for the three Ninjas
-// against the repeated rootkit-combined attack (§VIII-C2).
+// against the repeated rootkit-combined attack (§VIII-C2). One work unit
+// per (cell, rep): every rep draws its attack phase from its own split RNG
+// stream, so any rep reproduces in isolation.
 func RunNinjaShowdown(cfg ShowdownConfig) ([]ShowdownCell, error) {
 	cfg.fillDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var cells []ShowdownCell
-	total := cfg.Reps * (len(cfg.ONinjaSpam) + len(cfg.HNinjaIntervals) + 1)
-	done := 0
-	tick := func() {
-		done++
-		if cfg.Progress != nil {
-			cfg.Progress(done, total)
-		}
+	specs := showdownCells(cfg)
+	campaign := runner.Campaign[bool]{
+		Units:    cfg.Reps * len(specs),
+		Parallel: cfg.Parallel,
+		Seed:     cfg.Seed,
+		Progress: cfg.Progress,
+		Run: func(ctx *runner.Ctx) (bool, error) {
+			return specs[ctx.Index/cfg.Reps].run(ctx.Seed, ctx.RNG)
+		},
 	}
-
-	for _, spam := range cfg.ONinjaSpam {
-		cell := ShowdownCell{Monitor: "O-Ninja (0s interval)",
-			Param: fmt.Sprintf("%d idle procs", spam), Reps: cfg.Reps}
+	res, err := campaign.Execute()
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]ShowdownCell, len(specs))
+	for i, spec := range specs {
+		cells[i] = ShowdownCell{Monitor: spec.monitor, Param: spec.param, Reps: cfg.Reps}
 		for rep := 0; rep < cfg.Reps; rep++ {
-			detected, err := oneONinjaRep(cfg.Seed+int64(rep), spam, rng)
-			if err != nil {
-				return nil, err
+			if res.Units[i*cfg.Reps+rep] {
+				cells[i].Detected++
 			}
-			if detected {
-				cell.Detected++
-			}
-			tick()
 		}
-		cells = append(cells, cell)
 	}
-
-	for _, interval := range cfg.HNinjaIntervals {
-		cell := ShowdownCell{Monitor: "H-Ninja",
-			Param: fmt.Sprintf("%v interval", interval), Reps: cfg.Reps}
-		for rep := 0; rep < cfg.Reps; rep++ {
-			detected, err := oneHNinjaRep(cfg.Seed+int64(rep), interval, rng)
-			if err != nil {
-				return nil, err
-			}
-			if detected {
-				cell.Detected++
-			}
-			tick()
-		}
-		cells = append(cells, cell)
-	}
-
-	// HT-Ninja: one cell, same attack.
-	cell := ShowdownCell{Monitor: "HT-Ninja", Param: "active", Reps: cfg.Reps}
-	for rep := 0; rep < cfg.Reps; rep++ {
-		detected, err := oneHTNinjaRep(cfg.Seed+int64(rep), rng)
-		if err != nil {
-			return nil, err
-		}
-		if detected {
-			cell.Detected++
-		}
-		tick()
-	}
-	cells = append(cells, cell)
 	return cells, nil
 }
 

@@ -31,7 +31,11 @@ func TestShowdownSmoke(t *testing.T) {
 }
 
 func TestSideChannelSmoke(t *testing.T) {
-	rows, err := RunSideChannelTable([]time.Duration{500 * time.Millisecond, time.Second}, 12, 5)
+	rows, err := RunSideChannelTable(SideChannelConfig{
+		Intervals: []time.Duration{500 * time.Millisecond, time.Second},
+		Samples:   12,
+		Seed:      5,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

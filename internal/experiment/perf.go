@@ -10,6 +10,7 @@ import (
 	"hypertap/internal/auditors/ped"
 	"hypertap/internal/core"
 	"hypertap/internal/core/intercept"
+	"hypertap/internal/experiment/runner"
 	"hypertap/internal/guest"
 	"hypertap/internal/hv"
 	"hypertap/internal/vmi"
@@ -143,11 +144,18 @@ type PerfConfig struct {
 	Setups []MonitorSetup
 	// IncludeAblation adds the separate-stacks configuration.
 	IncludeAblation bool
+	// Parallel is the number of measurements run concurrently (each in
+	// its own VM). 0 selects GOMAXPROCS.
+	Parallel int
 	// Progress, when set, is called per (benchmark, setup) completion.
 	Progress func(done, total int)
 }
 
-// RunPerfOverhead measures Fig. 7.
+// RunPerfOverhead measures Fig. 7. One work unit per (benchmark, column),
+// where the columns are the unmonitored baseline plus every setup. All
+// units of a benchmark deliberately share cfg.Seed rather than splitting
+// per unit: overhead is a paired comparison, so the monitored runs must see
+// the same guest jitter as their baseline.
 func RunPerfOverhead(cfg PerfConfig) (*PerfResult, error) {
 	if cfg.Scale < 1 {
 		cfg.Scale = 1
@@ -165,30 +173,39 @@ func RunPerfOverhead(cfg PerfConfig) (*PerfResult, error) {
 	for _, s := range setups {
 		result.Setups = append(result.Setups, s.Name)
 	}
-	total := len(names) * (len(setups) + 1)
-	done := 0
-	step := func() {
-		done++
-		if cfg.Progress != nil {
-			cfg.Progress(done, total)
-		}
+
+	cols := len(setups) + 1 // column 0 is the baseline
+	campaign := runner.Campaign[time.Duration]{
+		Units:    len(names) * cols,
+		Parallel: cfg.Parallel,
+		Seed:     cfg.Seed,
+		Progress: cfg.Progress,
+		Run: func(ctx *runner.Ctx) (time.Duration, error) {
+			bench, col := ctx.Index/cols, ctx.Index%cols
+			if col == 0 {
+				t, err := runSuiteItem(bench, cfg.Scale, cfg.Seed, nil)
+				if err != nil {
+					return 0, fmt.Errorf("experiment: baseline %s: %w", names[bench], err)
+				}
+				return t, nil
+			}
+			t, err := runSuiteItem(bench, cfg.Scale, cfg.Seed, &setups[col-1])
+			if err != nil {
+				return 0, fmt.Errorf("experiment: %s under %s: %w", names[bench], setups[col-1].Name, err)
+			}
+			return t, nil
+		},
+	}
+	res, err := campaign.Execute()
+	if err != nil {
+		return nil, err
 	}
 
 	for idx, name := range names {
 		row := PerfRow{Benchmark: name, Times: make(map[string]time.Duration)}
-		base, err := runSuiteItem(idx, cfg.Scale, cfg.Seed, nil)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: baseline %s: %w", name, err)
-		}
-		row.Baseline = base
-		step()
+		row.Baseline = res.Units[idx*cols]
 		for i := range setups {
-			t, err := runSuiteItem(idx, cfg.Scale, cfg.Seed, &setups[i])
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s under %s: %w", name, setups[i].Name, err)
-			}
-			row.Times[setups[i].Name] = t
-			step()
+			row.Times[setups[i].Name] = res.Units[idx*cols+1+i]
 		}
 		result.Rows = append(result.Rows, row)
 	}

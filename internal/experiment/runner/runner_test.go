@@ -1,0 +1,197 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"hypertap/internal/telemetry"
+)
+
+// TestResultsIndexedByUnit pins the core contract: results come back in
+// unit order whatever the worker count, and each unit saw its own split
+// seed and RNG stream.
+func TestResultsIndexedByUnit(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		c := Campaign[string]{
+			Units:    37,
+			Parallel: workers,
+			Seed:     11,
+			Run: func(ctx *Ctx) (string, error) {
+				return fmt.Sprintf("u%d/s%d/r%d", ctx.Index, ctx.Seed, ctx.RNG.Int63()), nil
+			},
+		}
+		res, err := c.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range res.Units {
+			want := fmt.Sprintf("u%d/s%d/r%d", i, UnitSeed(11, i), UnitRNG(11, i).Int63())
+			if got != want {
+				t.Fatalf("workers=%d unit %d: got %q want %q", workers, i, got, want)
+			}
+		}
+	}
+}
+
+// TestFirstErrorPropagation pins the error contract: the lowest-indexed
+// failing unit wins — the same error a serial run reports — and units after
+// the failure are abandoned rather than started.
+func TestFirstErrorPropagation(t *testing.T) {
+	errLow := errors.New("unit 5 failed")
+	errHigh := errors.New("unit 9 failed")
+	var started atomic.Int64
+	c := Campaign[int]{
+		Units:    200,
+		Parallel: 4,
+		Run: func(ctx *Ctx) (int, error) {
+			started.Add(1)
+			switch ctx.Index {
+			case 5:
+				return 0, errLow
+			case 9:
+				return 0, errHigh
+			}
+			return ctx.Index, nil
+		},
+	}
+	_, err := c.Execute()
+	if !errors.Is(err, errLow) {
+		t.Fatalf("got error %v, want lowest-index %v", err, errLow)
+	}
+	if n := started.Load(); n >= 200 {
+		t.Fatalf("cancellation did not stop the campaign: all %d units started", n)
+	}
+}
+
+// TestProgressSerialized drives a callback that mutates unsynchronized
+// state from many workers; the race detector (make check runs this leg with
+// -race) fails the build if deliveries ever interleave, and the sequence
+// check pins that done counts every completion exactly once, in order.
+func TestProgressSerialized(t *testing.T) {
+	var seen []int // plain slice: any unserialized append is a race
+	c := Campaign[struct{}]{
+		Units:    500,
+		Parallel: 8,
+		Progress: func(done, total int) {
+			if total != 500 {
+				t.Errorf("total = %d, want 500", total)
+			}
+			seen = append(seen, done)
+		},
+		Run: func(ctx *Ctx) (struct{}, error) { return struct{}{}, nil },
+	}
+	if _, err := c.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 500 {
+		t.Fatalf("progress delivered %d times, want 500", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress[%d] = %d, want %d", i, d, i+1)
+		}
+	}
+}
+
+// TestSeedSplitting is the property test for the seed + unitIndex
+// discipline: across a sweep of campaign seeds, adjacent units must draw
+// distinct streams (their first draws differ), and a unit's stream must be
+// recomputable from (seed, index) alone.
+func TestSeedSplitting(t *testing.T) {
+	for seed := int64(-50); seed < 50; seed++ {
+		for i := 0; i < 20; i++ {
+			a, b := UnitRNG(seed, i).Int63(), UnitRNG(seed, i+1).Int63()
+			if a == b {
+				t.Fatalf("seed %d: units %d and %d share a first draw (%d)", seed, i, i+1, a)
+			}
+			if again := UnitRNG(seed, i).Int63(); again != a {
+				t.Fatalf("seed %d unit %d: stream not reproducible (%d vs %d)", seed, i, a, again)
+			}
+		}
+	}
+}
+
+// TestUnitIsolation pins in-campaign ≡ in-isolation: any single unit re-run
+// through a one-unit view of the same work reproduces the result it
+// produced inside the full campaign.
+func TestUnitIsolation(t *testing.T) {
+	work := func(ctx *Ctx) (int64, error) {
+		// A unit result that depends on everything a unit receives.
+		return ctx.Seed*1000003 ^ ctx.RNG.Int63(), nil
+	}
+	full := Campaign[int64]{Units: 64, Parallel: 4, Seed: 23, Run: work}
+	res, err := full.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 13, 63} {
+		ctx := &Ctx{Index: i, Seed: UnitSeed(23, i), RNG: UnitRNG(23, i)}
+		alone, err := work(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alone != res.Units[i] {
+			t.Fatalf("unit %d: isolated run %d != in-campaign %d", i, alone, res.Units[i])
+		}
+	}
+}
+
+// TestTelemetryShardMerge pins that per-unit shards merge into a snapshot
+// that is identical serial vs parallel, and that a live registry absorbs
+// the same totals.
+func TestTelemetryShardMerge(t *testing.T) {
+	build := func(workers int, live *telemetry.Registry) *telemetry.Snapshot {
+		c := Campaign[struct{}]{
+			Units:     25,
+			Parallel:  workers,
+			Seed:      3,
+			Telemetry: true,
+			Live:      live,
+			Run: func(ctx *Ctx) (struct{}, error) {
+				ctx.Telemetry.Counter("units_total").Inc()
+				ctx.Telemetry.Counter("draws_total", telemetry.L("unit", "all")).Add(uint64(ctx.Index))
+				ctx.Telemetry.Gauge("high_water").Set(float64(ctx.Index))
+				return struct{}{}, nil
+			},
+		}
+		res, err := c.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Telemetry
+	}
+
+	serial := build(1, nil)
+	live := telemetry.NewRegistry()
+	parallel := build(4, live)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("merged telemetry differs:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	if n := serial.Counters[0].Value; n != 25 {
+		t.Fatalf("units_total = %d, want 25", n)
+	}
+	ls := live.Snapshot()
+	for _, c := range ls.Counters {
+		if c.Name == "draws_total" && c.Value != 25*24/2 {
+			t.Fatalf("live draws_total = %d, want %d", c.Value, 25*24/2)
+		}
+	}
+	for _, g := range ls.Gauges {
+		if g.Name == "high_water" && g.Value != 24 {
+			t.Fatalf("live high_water = %v, want 24", g.Value)
+		}
+	}
+}
+
+// TestZeroUnits pins the degenerate cases.
+func TestZeroUnits(t *testing.T) {
+	c := Campaign[int]{Units: 0, Parallel: 4,
+		Run: func(ctx *Ctx) (int, error) { return 0, nil }}
+	res, err := c.Execute()
+	if err != nil || len(res.Units) != 0 {
+		t.Fatalf("empty campaign: res=%v err=%v", res, err)
+	}
+}

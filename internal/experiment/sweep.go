@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strings"
 	"time"
+
+	"hypertap/internal/experiment/runner"
 )
 
 // Detection-probability sweeps: the paper reports three points per monitor
@@ -32,8 +34,42 @@ type SweepConfig struct {
 	// Reps per point (default 100).
 	Reps int
 	Seed int64
-	// Progress, when set, is called per completed rep.
+	// Parallel is the number of reps run concurrently (each in its own
+	// VM). 0 selects GOMAXPROCS.
+	Parallel int
+	// Progress, when set, is called per completed rep. Delivery is
+	// serialized by the campaign engine.
 	Progress func(done, total int)
+}
+
+// runSweep executes points × cfg.Reps work units — one per (point, rep),
+// each drawing the attack phase from its own split RNG stream — and folds
+// the detections into one SweepPoint per swept value.
+func runSweep(cfg SweepConfig, points []SweepPoint,
+	rep func(pointIdx int, seed int64, rng *rand.Rand) (bool, error)) ([]SweepPoint, error) {
+	campaign := runner.Campaign[bool]{
+		Units:    cfg.Reps * len(points),
+		Parallel: cfg.Parallel,
+		Seed:     cfg.Seed,
+		Progress: cfg.Progress,
+		Run: func(ctx *runner.Ctx) (bool, error) {
+			return rep(ctx.Index/cfg.Reps, ctx.Seed, ctx.RNG)
+		},
+	}
+	res, err := campaign.Execute()
+	if err != nil {
+		return nil, err
+	}
+	for i := range points {
+		points[i].Reps = cfg.Reps
+		for r := 0; r < cfg.Reps; r++ {
+			if res.Units[i*cfg.Reps+r] {
+				points[i].Detected++
+			}
+		}
+		points[i].Probability = float64(points[i].Detected) / float64(points[i].Reps)
+	}
+	return points, nil
 }
 
 // RunHNinjaIntervalSweep measures H-Ninja's detection probability across
@@ -50,29 +86,17 @@ func RunHNinjaIntervalSweep(intervals []time.Duration, cfg SweepConfig) ([]Sweep
 	if cfg.Reps <= 0 {
 		cfg.Reps = 100
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	total := cfg.Reps * len(intervals)
-	done := 0
-	var points []SweepPoint
-	for _, interval := range intervals {
-		p := SweepPoint{Param: interval.Seconds(), Label: interval.String(), Reps: cfg.Reps}
-		for rep := 0; rep < cfg.Reps; rep++ {
-			detected, err := oneHNinjaRep(cfg.Seed+int64(rep), interval, rng)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: H-Ninja sweep at %v: %w", interval, err)
-			}
-			if detected {
-				p.Detected++
-			}
-			done++
-			if cfg.Progress != nil {
-				cfg.Progress(done, total)
-			}
-		}
-		p.Probability = float64(p.Detected) / float64(p.Reps)
-		points = append(points, p)
+	points := make([]SweepPoint, len(intervals))
+	for i, interval := range intervals {
+		points[i] = SweepPoint{Param: interval.Seconds(), Label: interval.String()}
 	}
-	return points, nil
+	out, err := runSweep(cfg, points, func(pointIdx int, seed int64, rng *rand.Rand) (bool, error) {
+		return oneHNinjaRep(seed, intervals[pointIdx], rng)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: H-Ninja sweep: %w", err)
+	}
+	return out, nil
 }
 
 // RunONinjaSpamSweep measures continuous O-Ninja's detection probability as
@@ -84,33 +108,20 @@ func RunONinjaSpamSweep(spamCounts []int, cfg SweepConfig) ([]SweepPoint, error)
 	if cfg.Reps <= 0 {
 		cfg.Reps = 100
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	total := cfg.Reps * len(spamCounts)
-	done := 0
-	var points []SweepPoint
-	for _, spam := range spamCounts {
-		p := SweepPoint{
+	points := make([]SweepPoint, len(spamCounts))
+	for i, spam := range spamCounts {
+		points[i] = SweepPoint{
 			Param: float64(baselineProcs + spam),
 			Label: fmt.Sprintf("%d procs", baselineProcs+spam),
-			Reps:  cfg.Reps,
 		}
-		for rep := 0; rep < cfg.Reps; rep++ {
-			detected, err := oneONinjaRep(cfg.Seed+int64(rep), spam, rng)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: O-Ninja sweep at %d: %w", spam, err)
-			}
-			if detected {
-				p.Detected++
-			}
-			done++
-			if cfg.Progress != nil {
-				cfg.Progress(done, total)
-			}
-		}
-		p.Probability = float64(p.Detected) / float64(p.Reps)
-		points = append(points, p)
 	}
-	return points, nil
+	out, err := runSweep(cfg, points, func(pointIdx int, seed int64, rng *rand.Rand) (bool, error) {
+		return oneONinjaRep(seed, spamCounts[pointIdx], rng)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: O-Ninja sweep: %w", err)
+	}
+	return out, nil
 }
 
 // FormatSweep renders a sweep as an aligned series with a bar sparkline.

@@ -68,6 +68,28 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// absorb adds a snapshot's buckets into the live histogram (the
+// Registry.Absorb path). Unlike Observe it is not a hot-path operation:
+// it runs once per campaign unit, off the measured paths.
+func (h *Histogram) absorb(s HistogramSnapshot) {
+	for b, n := range s.Buckets {
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+		if n > 0 {
+			h.buckets[b].Add(n)
+		}
+	}
+	h.sum.Add(uint64(s.Sum))
+	v := uint64(s.Max)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	var n uint64

@@ -260,6 +260,25 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Absorb folds a snapshot into the registry's live instruments: counters
+// add the snapshot's value, gauges rise to it (high-water semantics, the
+// same choice Merge makes), histograms add its buckets. The intended use is
+// sharded campaigns: each work unit records into its own registry, and the
+// engine absorbs the unit's snapshot — a pure delta, since the shard was
+// fresh — into a live registry that an HTTP exporter is serving, so
+// /metrics shows campaign totals growing while the run is in flight.
+func (r *Registry) Absorb(s Snapshot) {
+	for _, c := range s.Counters {
+		r.Counter(c.Name, c.Labels...).Add(c.Value)
+	}
+	for _, g := range s.Gauges {
+		r.Gauge(g.Name, g.Labels...).SetMax(g.Value)
+	}
+	for _, h := range s.Histograms {
+		r.Histogram(h.Name, h.Labels...).absorb(h)
+	}
+}
+
 // Merge folds other into s: counters and histograms with identical
 // name+labels are summed; gauges take the maximum (the conservative choice
 // for depth/high-water gauges); series unique to other are appended. Use it
