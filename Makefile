@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet vet-invariants race equivalence bench-telemetry bench-parallel
+.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath
 
 all: build
 
@@ -17,7 +17,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: vet vet-invariants fmt race equivalence
+check: vet vet-invariants fmt race equivalence bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,11 @@ race:
 equivalence:
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestParallelMatchesSerial|TestShowdownUnitIsolation' ./internal/experiment ./internal/experiment/runner
 
+# Compile and run every benchmark exactly once, so a broken benchmark is a
+# gate failure rather than a surprise at measurement time.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
 # Regenerate the telemetry micro-benchmark numbers (see results/BENCH_telemetry.json).
 bench-telemetry:
 	$(GO) test -run xxx -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkEventPublish$$|BenchmarkEventPublishInstrumented' -benchtime 2s .
@@ -49,3 +54,9 @@ bench-telemetry:
 # Regenerate the campaign-engine speedup numbers (see results/BENCH_parallel.json).
 bench-parallel:
 	$(GO) run ./cmd/parallel-bench -out results/BENCH_parallel.json
+
+# Regenerate the hot-path throughput numbers (see results/BENCH_hotpath.json):
+# events/sec through Publish/Dispatch, translation-cache microcosts, and
+# end-to-end campaign wall-clock.
+bench-hotpath:
+	$(GO) run ./cmd/hotpath-bench -out results/BENCH_hotpath.json

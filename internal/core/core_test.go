@@ -178,6 +178,109 @@ func TestUnregister(t *testing.T) {
 	}
 }
 
+// TestUnregisterWithQueuedEvents exercises registration churn against the
+// routing table: unregistering an async auditor with undispatched events
+// must forget its queue in the depth accounting, and later publishes must
+// route only to the survivors.
+func TestUnregisterWithQueuedEvents(t *testing.T) {
+	em := NewMultiplexer()
+	reg := telemetry.NewRegistry()
+	em.EnableTelemetry(reg)
+
+	a, aGot := collector("a", MaskAll)
+	b, bGot := collector("b", MaskAll)
+	for _, aud := range []*AuditorFunc{a, b} {
+		if err := em.Register(aud, DeliverAsync, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	depth := func() float64 {
+		t.Helper()
+		for _, g := range reg.Snapshot().Gauges {
+			if g.Name == "hypertap_async_queue_depth" {
+				return g.Value
+			}
+		}
+		t.Fatal("no hypertap_async_queue_depth gauge")
+		return 0
+	}
+
+	for i := 0; i < 3; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	if d := depth(); d != 6 {
+		t.Fatalf("depth after publishes = %v, want 6 (3 events x 2 queues)", d)
+	}
+	if !em.Unregister(a) {
+		t.Fatal("Unregister returned false")
+	}
+	if d := depth(); d != 3 {
+		t.Fatalf("depth after Unregister = %v, want 3 (a's queued events forgotten)", d)
+	}
+	if n := em.Dispatch(0); n != 3 {
+		t.Fatalf("Dispatch delivered %d, want 3", n)
+	}
+	if len(*aGot) != 0 {
+		t.Fatalf("unregistered auditor received %d events", len(*aGot))
+	}
+	if len(*bGot) != 3 {
+		t.Fatalf("survivor received %d events, want 3", len(*bGot))
+	}
+	if d := depth(); d != 0 {
+		t.Fatalf("depth after drain = %v, want 0", d)
+	}
+
+	// The rebuilt routing table must carry only the survivor.
+	em.Publish(&Event{Type: EvHalt, Seq: 99})
+	em.Dispatch(0)
+	if len(*aGot) != 0 || len(*bGot) != 4 {
+		t.Fatalf("post-churn routing delivered a=%d b=%d, want 0/4", len(*aGot), len(*bGot))
+	}
+}
+
+// TestReRegisterAfterEnableTelemetry checks that an auditor registered
+// after telemetry is enabled — including one that was unregistered and
+// comes back — gets its latency histogram wired and is routed to.
+func TestReRegisterAfterEnableTelemetry(t *testing.T) {
+	em := NewMultiplexer()
+	reg := telemetry.NewRegistry()
+
+	busy := &AuditorFunc{AuditorName: "busy", EventMask: MaskAll, Fn: func(*Event) {
+		time.Sleep(10 * time.Microsecond)
+	}}
+	if err := em.Register(busy, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	em.EnableTelemetry(reg)
+	if !em.Unregister(busy) {
+		t.Fatal("Unregister returned false")
+	}
+	if err := em.Register(busy, DeliverSync, 0); err != nil {
+		t.Fatalf("re-Register: %v", err)
+	}
+
+	for i := 0; i < latencySampleEvery; i++ {
+		em.Publish(&Event{Type: EvHalt, Seq: uint64(i)})
+	}
+	var hist *telemetry.HistogramSnapshot
+	snap := reg.Snapshot()
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "hypertap_auditor_handle_seconds" &&
+			snap.Histograms[i].Labels[0] == telemetry.L("auditor", "busy") {
+			hist = &snap.Histograms[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("re-registered auditor has no latency histogram")
+	}
+	if hist.Count == 0 {
+		t.Fatal("re-registered auditor's histogram never observed a sample")
+	}
+	if st := em.Stats(); len(st) != 1 || st[0].Delivered != latencySampleEvery {
+		t.Fatalf("stats after re-register = %+v, want %d delivered", st, latencySampleEvery)
+	}
+}
+
 func TestSampler(t *testing.T) {
 	em := NewMultiplexer()
 	var sampled []uint64

@@ -1,0 +1,57 @@
+package core
+
+// Mask-indexed event routing. Publish used to scan every subscription per
+// event and build the synchronous delivery set with append — a linear walk
+// plus a heap allocation on the hottest path in the system. The routing
+// table trades that for an indexed lookup: at Register/Unregister (and
+// EnableTelemetry) time the EM precomputes, for every event type, the exact
+// sync and async subscription lists, so Publish touches only the
+// subscriptions that want the event and allocates nothing.
+
+// routeBits spans every bit an EventMask (uint32) can hold. Event types at
+// or above routeBits can never match a mask — the non-constant shift in
+// EventMask.Has overflows to zero — so they route to an always-empty
+// sentinel slot, preserving the linear scan's semantics exactly.
+const (
+	routeBits     = 32
+	routeSentinel = routeBits
+	routeSlots    = routeBits + 1
+)
+
+// routeTable holds the precomputed per-type subscription lists. Slices are
+// installed wholesale by rebuild and never mutated afterwards, so Publish
+// may snapshot a slot under the EM lock and iterate it after unlocking.
+type routeTable struct {
+	sync  [routeSlots][]*subscription
+	async [routeSlots][]*subscription
+}
+
+// routeIndex maps an event type to its table slot.
+func routeIndex(t EventType) int {
+	if int(t) >= routeBits {
+		return routeSentinel
+	}
+	return int(t)
+}
+
+// rebuild recomputes every slot from the subscription list. Registration
+// order is preserved within each slot, so delivery order is identical to
+// the per-event scan this table replaced. Must be called with the EM lock
+// held.
+func (rt *routeTable) rebuild(subs []*subscription) {
+	for t := 0; t < routeBits; t++ {
+		var syncList, asyncList []*subscription
+		for _, s := range subs {
+			if !s.mask.Has(EventType(t)) {
+				continue
+			}
+			if s.mode == DeliverSync {
+				syncList = append(syncList, s)
+			} else {
+				asyncList = append(asyncList, s)
+			}
+		}
+		rt.sync[t] = syncList
+		rt.async[t] = asyncList
+	}
+}

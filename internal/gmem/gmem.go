@@ -29,6 +29,9 @@ type Memory struct {
 	data []byte
 	// allocNext is the bump pointer used by the boot-time frame allocator.
 	allocNext arch.GPA
+	// resetHook, when set, runs after AllocReset wipes the memory; see
+	// SetResetHook.
+	resetHook func()
 }
 
 // New creates a guest-physical memory of the given size, which must be a
@@ -115,16 +118,31 @@ func (m *Memory) WriteU32(pa arch.GPA, v uint32) error {
 	return nil
 }
 
-// ReadCString reads a NUL-terminated string of at most max bytes at pa.
+// ReadCString reads a NUL-terminated string of at most max bytes at pa. The
+// window is clamped to the end of memory: a string that terminates before
+// memory runs out is readable even when pa+max would overrun, matching how
+// a byte-at-a-time reader would behave. ErrOutOfRange is returned only when
+// no NUL appears in the accessible bytes.
 func (m *Memory) ReadCString(pa arch.GPA, max int) (string, error) {
-	if err := m.check(pa, max); err != nil {
-		return "", err
+	if max < 0 {
+		return "", fmt.Errorf("gmem: ReadCString with negative max %d", max)
+	}
+	if uint64(pa) >= uint64(len(m.data)) {
+		return "", fmt.Errorf("%w: read %d bytes at %#x", ErrOutOfRange, max, uint64(pa))
+	}
+	clamped := false
+	if rem := uint64(len(m.data)) - uint64(pa); uint64(max) > rem {
+		max = int(rem)
+		clamped = true
 	}
 	raw := m.data[pa : uint64(pa)+uint64(max)]
 	for i, b := range raw {
 		if b == 0 {
 			return string(raw[:i]), nil
 		}
+	}
+	if clamped {
+		return "", fmt.Errorf("%w: unterminated string at %#x runs past end of memory", ErrOutOfRange, uint64(pa))
 	}
 	return string(raw), nil
 }
@@ -139,9 +157,7 @@ func (m *Memory) WriteCString(pa arch.GPA, s string, size int) error {
 		return err
 	}
 	field := m.data[pa : uint64(pa)+uint64(size)]
-	for i := range field {
-		field[i] = 0
-	}
+	clear(field)
 	copy(field[:size-1], s)
 	return nil
 }
@@ -152,9 +168,7 @@ func (m *Memory) Zero(pa arch.GPA, n int) error {
 		return err
 	}
 	region := m.data[pa : uint64(pa)+uint64(n)]
-	for i := range region {
-		region[i] = 0
-	}
+	clear(region)
 	return nil
 }
 
@@ -176,12 +190,18 @@ func (m *Memory) AllocPages(n int) (arch.GPA, error) {
 	return base, nil
 }
 
+// SetResetHook registers fn to run at the end of every AllocReset. The
+// guest kernel hooks its TLB flush here: a memory-wide reset invalidates
+// every page directory, so every cached translation must die with them.
+func (m *Memory) SetResetHook(fn func()) { m.resetHook = fn }
+
 // AllocReset rewinds the bump allocator; used when rebooting a VM between
 // fault-injection runs without reallocating the backing array.
 func (m *Memory) AllocReset() {
 	m.allocNext = 0
-	for i := range m.data {
-		m.data[i] = 0
+	clear(m.data)
+	if m.resetHook != nil {
+		m.resetHook()
 	}
 }
 

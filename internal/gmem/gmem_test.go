@@ -135,6 +135,42 @@ func TestCStringNoTerminator(t *testing.T) {
 	}
 }
 
+// TestCStringClampsAtEndOfMemory covers strings near the end of memory: a
+// NUL-terminated string must be readable even when pa+max overruns the
+// backing array, and only a string that is genuinely unterminated within
+// the accessible bytes is an error.
+func TestCStringClampsAtEndOfMemory(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	last := arch.GPA(arch.PageSize - 5)
+	if err := m.Write(last, []byte{'i', 'n', 'i', 't', 0}); err != nil {
+		t.Fatal(err)
+	}
+	// max=16 overruns memory by 11 bytes, but the NUL lands inside.
+	s, err := m.ReadCString(last, 16)
+	if err != nil || s != "init" {
+		t.Fatalf("clamped ReadCString = %q, %v; want \"init\", nil", s, err)
+	}
+	// Unterminated to the very end: error, not a silent truncation.
+	if err := m.Write(last, []byte{'x', 'x', 'x', 'x', 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadCString(last, 16); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("unterminated overrun err = %v, want ErrOutOfRange", err)
+	}
+	// Exactly-fitting unterminated reads keep the old semantics: the full
+	// window is the string.
+	s, err = m.ReadCString(last, 5)
+	if err != nil || s != "xxxxx" {
+		t.Fatalf("exact-fit ReadCString = %q, %v", s, err)
+	}
+	if _, err := m.ReadCString(arch.PageSize, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read past end err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := m.ReadCString(0, -1); err == nil {
+		t.Fatal("negative max accepted")
+	}
+}
+
 func TestZero(t *testing.T) {
 	m := MustNew(arch.PageSize)
 	if err := m.Write(0, []byte{1, 2, 3, 4}); err != nil {
@@ -191,6 +227,17 @@ func TestAllocReset(t *testing.T) {
 	}
 	if a, err := m.AllocPages(1); err != nil || a != 0 {
 		t.Fatalf("alloc after reset = %#x, %v", uint64(a), err)
+	}
+}
+
+func TestAllocResetRunsHook(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	calls := 0
+	m.SetResetHook(func() { calls++ })
+	m.AllocReset()
+	m.AllocReset()
+	if calls != 2 {
+		t.Fatalf("reset hook ran %d times, want 2", calls)
 	}
 }
 

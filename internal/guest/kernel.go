@@ -205,6 +205,10 @@ type Kernel struct {
 	netWaiters map[uint16][]*Task
 	netOut     []NetReply
 
+	// tlb caches page-directory walk results; see tlb.go for the
+	// invalidation contract.
+	tlb tlbCache
+
 	stats  Stats
 	booted bool
 	// bootNow tracks virtual time across slices (monotonic, kernel-wide).
@@ -243,6 +247,11 @@ func New(cfg Config) (*Kernel, error) {
 	for i, v := range cfg.VCPUs {
 		k.cpus = append(k.cpus, &cpuState{id: i, vcpu: v})
 	}
+	// Generation 1 leaves the zero-valued TLB entries invalid; the reset
+	// hook keeps the cache coherent when the backing memory is wiped for a
+	// reboot (page directories are reallocated from scratch afterwards).
+	k.tlb.gen = 1
+	cfg.Mem.SetResetHook(k.tlb.flush)
 	return k, nil
 }
 
@@ -396,6 +405,7 @@ func (k *Kernel) Boot() error {
 	// checking (Fig. 3C).
 	for _, c := range k.cpus {
 		c.vcpu.WriteCR3(initMM)
+		k.tlb.flush()
 		c.activePDBA = initMM
 		// Publish the boot thread's RSP0.
 		boot := c.current

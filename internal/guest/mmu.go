@@ -75,6 +75,10 @@ func (k *Kernel) newPageDirectory(userPages int) (arch.GPA, error) {
 			}
 		}
 	}
+	// The directory's entries just changed; drop any translation cached
+	// for a previous occupant of these physical pages (possible after a
+	// memory reset rewinds the bump allocator).
+	k.tlb.flush()
 	return pdba, nil
 }
 
@@ -82,23 +86,35 @@ func (k *Kernel) newPageDirectory(userPages int) (arch.GPA, error) {
 // kernel does this when an address space dies; stale PDBAs then fail the
 // known-GVA validity probe, letting the architectural process count shrink.
 func (k *Kernel) clearPageDirectory(pdba arch.GPA) error {
-	return k.mem.Zero(pdba, arch.PDBytes)
+	if err := k.mem.Zero(pdba, arch.PDBytes); err != nil {
+		return err
+	}
+	// Cached translations through this directory are now stale; a probe of
+	// the dead address space must miss, walk, and see the cleared entries.
+	k.tlb.flush()
+	return nil
 }
 
 // Translate walks the page directory rooted at pdba and returns the
 // guest-physical address for a guest-virtual one. It is pure software page
 // walking over guest memory — the same operation the hypervisor-side helper
-// API performs.
+// API performs — fronted by the software TLB (tlb.go), which turns repeat
+// translations within a directory generation into an array lookup.
 func (k *Kernel) Translate(pdba arch.GPA, v arch.GVA) (arch.GPA, bool) {
 	idx, ok := arch.PDIndex(v)
 	if !ok {
 		return 0, false
 	}
+	if frame, ok := k.tlb.lookup(pdba, uint64(idx)); ok {
+		return frame + arch.GPA(arch.PageOffset(v)), true
+	}
 	entry, err := k.mem.ReadU64(pdba + arch.GPA(idx*8))
 	if err != nil || entry&arch.PTEPresent == 0 {
 		return 0, false
 	}
-	return arch.GPA(entry&arch.PTEAddrMask) + arch.GPA(arch.PageOffset(v)), true
+	frame := arch.GPA(entry & arch.PTEAddrMask)
+	k.tlb.insert(pdba, uint64(idx), frame)
+	return frame + arch.GPA(arch.PageOffset(v)), true
 }
 
 // kread64 reads a u64 at a kernel direct-map GVA (no EPT check: host-mode

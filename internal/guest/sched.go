@@ -263,6 +263,11 @@ func (k *Kernel) contextSwitch(cpu int, next *Task) {
 	// borrows the active one (kernel threads, threads of the same process).
 	if next.PDBA != 0 && next.PDBA != c.activePDBA {
 		c.vcpu.WriteCR3(next.PDBA)
+		// A CR3 load flushes the software TLB, as it would the hardware
+		// one. Translations are keyed by PDBA so this is not needed for
+		// correctness of cross-space reads, but it keeps the cache's
+		// behaviour aligned with the architectural model it mirrors.
+		k.tlb.flush()
 		c.activePDBA = next.PDBA
 	}
 

@@ -1,0 +1,127 @@
+package guest
+
+import (
+	"hypertap/internal/arch"
+	"hypertap/internal/telemetry"
+)
+
+// Software TLB for guest-virtual translation. Every guest read issued by an
+// auditor — task-list walks, run-queue scans, credential probes — funnels
+// through Kernel.Translate, and before this cache landed each call re-read
+// the page-directory entry from guest memory. Page-directory entries change
+// only at well-defined points (newPageDirectory, clearPageDirectory, memory
+// reset), so caching (pdba, page) → frame is safe as long as those points
+// invalidate. Invalidation is generation-based: flush bumps a counter in
+// O(1) and stale entries simply stop matching, mirroring how hardware TLBs
+// treat a CR3 load as a full flush.
+
+// tlbSlots is the direct-mapped cache size (power of two). miniOS address
+// spaces are small — a few user pages plus the shared kernel window — so
+// 1024 slots comfortably cover every live translation in the test guests.
+const tlbSlots = 1024
+
+// tlbEntry caches one positive translation. Negative outcomes (not-present
+// entries, walk errors) are never cached: they are the rare path and caching
+// them would complicate the invalidation story for no measurable win.
+type tlbEntry struct {
+	gen   uint64
+	pdba  arch.GPA
+	page  uint64
+	frame arch.GPA
+}
+
+// tlbCache is the per-kernel translation cache. The kernel is driven by one
+// goroutine at a time (vCPUs are time-sliced, auditors read between slices),
+// so no locking is needed — which also keeps lookup off the allocator and
+// out of the scheduler.
+type tlbCache struct {
+	// gen is the current generation; entries with a stale gen never match.
+	// It starts at 1 so the zero-valued entries array is born invalid.
+	gen     uint64
+	hits    uint64
+	misses  uint64
+	flushes uint64
+	entries [tlbSlots]tlbEntry
+
+	// Optional telemetry mirrors of the local counters (nil when the
+	// machine runs without a registry).
+	telHit   *telemetry.Counter
+	telMiss  *telemetry.Counter
+	telFlush *telemetry.Counter
+}
+
+// slot picks the direct-mapped home for a (pdba, page) pair. Page
+// directories are page-aligned, so shifting pdba down mixes its entropy
+// into the low bits the mask keeps.
+func (c *tlbCache) slot(pdba arch.GPA, page uint64) *tlbEntry {
+	h := page ^ (uint64(pdba) >> arch.PageShift)
+	return &c.entries[h&(tlbSlots-1)]
+}
+
+// lookup returns the cached frame for (pdba, page) if present and current.
+//
+//hypertap:hotpath
+func (c *tlbCache) lookup(pdba arch.GPA, page uint64) (arch.GPA, bool) {
+	e := c.slot(pdba, page)
+	if e.gen == c.gen && e.pdba == pdba && e.page == page {
+		c.hits++
+		if c.telHit != nil {
+			c.telHit.Inc()
+		}
+		return e.frame, true
+	}
+	c.misses++
+	if c.telMiss != nil {
+		c.telMiss.Inc()
+	}
+	return 0, false
+}
+
+// insert records a successful walk result, evicting whatever shared its
+// slot.
+//
+//hypertap:hotpath
+func (c *tlbCache) insert(pdba arch.GPA, page uint64, frame arch.GPA) {
+	e := c.slot(pdba, page)
+	e.gen = c.gen
+	e.pdba = pdba
+	e.page = page
+	e.frame = frame
+}
+
+// flush invalidates every cached translation in O(1) by bumping the
+// generation.
+//
+//hypertap:hotpath
+func (c *tlbCache) flush() {
+	c.gen++
+	c.flushes++
+	if c.telFlush != nil {
+		c.telFlush.Inc()
+	}
+}
+
+// TLBStats is a snapshot of the translation-cache counters.
+type TLBStats struct {
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+// TLBStats returns the current translation-cache counters.
+func (k *Kernel) TLBStats() TLBStats {
+	return TLBStats{Hits: k.tlb.hits, Misses: k.tlb.misses, Flushes: k.tlb.flushes}
+}
+
+// FlushTLB invalidates every cached translation. The kernel flushes
+// internally at each invalidation point; this export exists for benchmarks
+// and for embedders that mutate page directories out of band.
+func (k *Kernel) FlushTLB() { k.tlb.flush() }
+
+// EnableTLBTelemetry mirrors the cache counters into reg as
+// hypertap_tlb_{hit,miss,flush}_total. Call before the first translation.
+func (k *Kernel) EnableTLBTelemetry(reg *telemetry.Registry) {
+	k.tlb.telHit = reg.Counter("hypertap_tlb_hit_total")
+	k.tlb.telMiss = reg.Counter("hypertap_tlb_miss_total")
+	k.tlb.telFlush = reg.Counter("hypertap_tlb_flush_total")
+}

@@ -156,6 +156,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("hv: %w", err)
 	}
 	m.kernel = kernel
+	if cfg.Telemetry != nil {
+		kernel.EnableTLBTelemetry(cfg.Telemetry)
+	}
 	return m, nil
 }
 

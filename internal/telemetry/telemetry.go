@@ -131,6 +131,9 @@ type entry struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	// counterFn, when set on a kindCounter entry, is read at snapshot time
+	// and added to the base counter's value; see CounterFunc.
+	counterFn func() uint64
 }
 
 // Registry holds named metrics. Lookups (Counter, Gauge, Histogram) are
@@ -215,6 +218,25 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	return r.lookup(name, kindHistogram, labels).hist
 }
 
+// CounterFunc backs the counter registered under name+labels with fn,
+// evaluated at snapshot time. It is for monotonic totals a producer already
+// maintains under its own lock: instead of paying an atomic add per event
+// on the producer's hot path, the cost moves to the (rare) scrape, and the
+// scraped value is exact rather than lagging. fn must be safe to call from
+// any goroutine and is invoked without the registry lock held, so it may
+// take the producer's lock. The series keeps its base Counter: Absorb and
+// direct Inc/Add still accumulate there, and snapshots report the sum of
+// both — a fresh fn replaces any previous one.
+func (r *Registry) CounterFunc(name string, fn func() uint64, labels ...Label) {
+	if fn == nil {
+		panic("telemetry: CounterFunc with nil fn")
+	}
+	e := r.lookup(name, kindCounter, labels)
+	r.mu.Lock()
+	e.counterFn = fn
+	r.mu.Unlock()
+}
+
 // CounterSnapshot is one counter's point-in-time value.
 type CounterSnapshot struct {
 	Name   string  `json:"name"`
@@ -238,16 +260,34 @@ type Snapshot struct {
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot captures every metric, in registration order.
+// Snapshot captures every metric, in registration order. The entry set and
+// any counter fns are copied under the registry lock, then values are read
+// outside it: instruments are atomics, and CounterFunc fns may take their
+// producer's lock — which that producer may hold while registering metrics,
+// so calling fns under the registry lock would invert the lock order.
 func (r *Registry) Snapshot() Snapshot {
+	type plan struct {
+		e  *entry
+		fn func() uint64
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	var s Snapshot
+	plans := make([]plan, 0, len(r.order))
 	for _, id := range r.order {
 		e := r.entries[id]
+		plans = append(plans, plan{e: e, fn: e.counterFn})
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, p := range plans {
+		e := p.e
 		switch e.kind {
 		case kindCounter:
-			s.Counters = append(s.Counters, CounterSnapshot{Name: e.name, Labels: e.labels, Value: e.counter.Value()})
+			v := e.counter.Value()
+			if p.fn != nil {
+				v += p.fn()
+			}
+			s.Counters = append(s.Counters, CounterSnapshot{Name: e.name, Labels: e.labels, Value: v})
 		case kindGauge:
 			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: e.name, Labels: e.labels, Value: e.gauge.Value()})
 		case kindHistogram:

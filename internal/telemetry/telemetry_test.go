@@ -50,6 +50,62 @@ func TestRegistryGetOrCreate(t *testing.T) {
 	}
 }
 
+func TestCounterFunc(t *testing.T) {
+	reg := NewRegistry()
+	n := uint64(0)
+	reg.CounterFunc("produced_total", func() uint64 { return n })
+	n = 7
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 7 {
+		t.Fatalf("snapshot = %+v, want produced_total=7", snap.Counters)
+	}
+	// The base counter still accumulates (Absorb, direct Add) and the
+	// snapshot reports the sum.
+	reg.Counter("produced_total").Add(3)
+	if v := reg.Snapshot().Counters[0].Value; v != 10 {
+		t.Fatalf("fn+base = %d, want 10", v)
+	}
+	// A kind collision is still caught.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering a CounterFunc over a gauge")
+		}
+	}()
+	reg.Gauge("g")
+	reg.CounterFunc("g", func() uint64 { return 0 })
+}
+
+// TestCounterFuncMayTakeProducerLock pins the lock-order contract: the fn
+// runs without the registry lock held, so a producer that registers metrics
+// while holding its own lock can also expose a CounterFunc that takes it.
+func TestCounterFuncMayTakeProducerLock(t *testing.T) {
+	reg := NewRegistry()
+	var mu sync.Mutex
+	count := uint64(0)
+	reg.CounterFunc("locked_total", func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return count
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			mu.Lock()
+			count++
+			reg.Counter("other_total").Inc() // producer lock -> registry lock
+			mu.Unlock()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		reg.Snapshot() // registry lock released before fn -> producer lock
+	}
+	<-done
+	if v := reg.Snapshot().Counters[0].Value; v != 100 {
+		t.Fatalf("locked_total = %d, want 100", v)
+	}
+}
+
 func TestRegistryKindMismatchPanics(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("m")
