@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath
+.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet
 
 all: build
 
@@ -34,13 +34,16 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/telemetry/... ./internal/experiment/... ./internal/hv/...
+	$(GO) test -race -short ./internal/core/... ./internal/telemetry/... ./internal/experiment/... ./internal/hv/... ./internal/host/...
 
-# The serial≡parallel equivalence suite for the sharded campaign engine:
-# GOMAXPROCS=4 forces real scheduling interleavings even on small runners,
-# and -race turns any unserialized progress/telemetry access into a failure.
+# The equivalence suites: serial≡parallel for the sharded campaign engine
+# (including fleet campaigns whose unit is an N-VM host), and N-VM-host ≡
+# N-isolated-VMs for the host fleet plane. GOMAXPROCS=4 forces real
+# scheduling interleavings even on small runners, and -race turns any
+# unserialized progress/telemetry access into a failure.
 equivalence:
-	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestParallelMatchesSerial|TestShowdownUnitIsolation' ./internal/experiment ./internal/experiment/runner
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestParallelMatchesSerial|TestShowdownUnitIsolation|TestFleetCampaignParallelMatchesSerial' ./internal/experiment ./internal/experiment/runner
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestFleetEquivalence|TestFleetSharedRHC' ./internal/host
 
 # Compile and run every benchmark exactly once, so a broken benchmark is a
 # gate failure rather than a surprise at measurement time.
@@ -60,3 +63,9 @@ bench-parallel:
 # end-to-end campaign wall-clock.
 bench-hotpath:
 	$(GO) run ./cmd/hotpath-bench -out results/BENCH_hotpath.json
+
+# Regenerate the multi-VM scaling numbers (see results/BENCH_fleet.json):
+# events/sec through one host-shared EM at 1/2/4/8 attached VMs, sync and
+# async, with the single-VM baseline embedded.
+bench-fleet:
+	$(GO) run ./cmd/hotpath-bench -fleet-only -fleet-out results/BENCH_fleet.json

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hypertap/internal/core"
+)
+
+// currentHostInfo describes the benchmarking host for report provenance.
+func currentHostInfo() hostInfo {
+	hi := hostInfo{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if hi.CPUs == 1 {
+		hi.Note = "host has 1 CPU: absolute numbers are honest but conservative — regenerate on the deployment hardware before comparing releases"
+	}
+	return hi
+}
+
+// parseVMCounts parses the -vms ladder ("1,2,4,8").
+func parseVMCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-vms: bad VM count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-vms: empty ladder")
+	}
+	return out, nil
+}
+
+// fleetRun is one (VM count, delivery mode) cell of the multi-VM scaling
+// section: a host-shared EM with one VM-scoped auditor per attached VM,
+// published round-robin across VMs.
+type fleetRun struct {
+	VMs          int     `json:"vms"`
+	Mode         string  `json:"mode"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	// VsSingleVM is this cell's per-event cost relative to the same-mode
+	// 1-VM cell (1.0 = identical; the routing table's O(1) claim is that
+	// this stays flat as the fleet grows).
+	VsSingleVM float64 `json:"vs_single_vm,omitempty"`
+}
+
+// fleetReport is results/BENCH_fleet.json.
+type fleetReport struct {
+	Description string     `json:"description"`
+	Host        hostInfo   `json:"host"`
+	Runs        []fleetRun `json:"runs"`
+	// SingleVM embeds the 1-VM baseline per mode, the denominator of
+	// every VsSingleVM column.
+	SingleVM map[string]fleetRun `json:"single_vm_baseline"`
+}
+
+// fleetVMCounts is the scaling ladder.
+var fleetVMCounts = []int{1, 2, 4, 8}
+
+// benchFleetPublish measures one cell. Per-VM scoped auditors mean each
+// event is delivered to exactly one subscriber regardless of fleet size, so
+// any cost growth is routing overhead, not fan-out.
+func benchFleetPublish(vms int, mode core.DeliveryMode) (fleetRun, error) {
+	const drainEvery = 1024
+	var setupErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		em := core.NewMultiplexer()
+		for i := 0; i < vms; i++ {
+			if _, err := em.AttachVM(fmt.Sprintf("vm%d", i)); err != nil {
+				setupErr = err
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < vms; i++ {
+			aud := &core.AuditorFunc{
+				AuditorName: fmt.Sprintf("aud%d", i),
+				EventMask:   core.MaskAll,
+				Fn:          func(*core.Event) {},
+			}
+			if err := em.RegisterScoped(aud, core.ScopeVM(core.VMID(i)), mode, 0); err != nil {
+				setupErr = err
+				b.Fatal(err)
+			}
+		}
+		ev := &core.Event{Type: core.EvSyscall, SyscallNr: 4}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Seq = uint64(i)
+			ev.VM = core.VMID(i % vms)
+			em.Publish(ev)
+			if mode == core.DeliverAsync && i%drainEvery == drainEvery-1 {
+				em.Dispatch(0)
+			}
+		}
+		if mode == core.DeliverAsync {
+			em.Dispatch(0)
+		}
+	})
+	if setupErr != nil {
+		return fleetRun{}, setupErr
+	}
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	return fleetRun{
+		VMs:          vms,
+		Mode:         mode.String(),
+		NsPerEvent:   ns,
+		EventsPerSec: 1e9 / ns,
+		AllocsPerOp:  res.AllocsPerOp(),
+	}, nil
+}
+
+// runFleetBench produces the whole scaling section and writes it to out
+// ("" = stdout).
+func runFleetBench(out string) error {
+	rep := fleetReport{
+		Description: "Multi-VM host-shared EM scaling. Regenerate with `make bench-fleet`.",
+		Host:        currentHostInfo(),
+		SingleVM:    make(map[string]fleetRun),
+	}
+	for _, vms := range fleetVMCounts {
+		for _, mode := range []core.DeliveryMode{core.DeliverSync, core.DeliverAsync} {
+			r, err := benchFleetPublish(vms, mode)
+			if err != nil {
+				return err
+			}
+			if vms == 1 {
+				rep.SingleVM[r.Mode] = r
+			}
+			if base, ok := rep.SingleVM[r.Mode]; ok && base.NsPerEvent > 0 {
+				r.VsSingleVM = r.NsPerEvent / base.NsPerEvent
+			}
+			rep.Runs = append(rep.Runs, r)
+			fmt.Fprintf(os.Stderr, "fleet    %-5s vms=%d  %8.1f ns/event  %12.0f events/s  %d allocs/op  x%.2f vs 1-VM\n",
+				r.Mode, r.VMs, r.NsPerEvent, r.EventsPerSec, r.AllocsPerOp, r.VsSingleVM)
+		}
+	}
+
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -14,6 +14,9 @@
 //     translation cache's hit/miss microcosts.
 //   - campaigns: wall-clock for a GOSHD fault-injection subset and the full
 //     HRKD rootkit matrix — the 17,952-injection scale multiplier.
+//   - fleet (written separately to -fleet-out): events/sec through a
+//     host-shared EM at 1/2/4/8 attached VMs with one VM-scoped auditor
+//     each, sync and async — the scaling claim of the per-host fleet plane.
 //
 // -cpuprofile/-memprofile wrap the whole run in a pprof capture so the next
 // perf PR starts from a profile instead of a guess. -baseline embeds a
@@ -72,11 +75,11 @@ type hostInfo struct {
 }
 
 type report struct {
-	Description string        `json:"description"`
-	Host        hostInfo      `json:"host"`
-	Publish     []publishRun  `json:"publish"`
+	Description string         `json:"description"`
+	Host        hostInfo       `json:"host"`
+	Publish     []publishRun   `json:"publish"`
 	GuestRead   guestReadBench `json:"guest_read"`
-	Campaigns   []campaignRun `json:"campaigns"`
+	Campaigns   []campaignRun  `json:"campaigns"`
 	// Baseline, when present, is the same report captured before the
 	// mask-indexed routing table and software TLB landed.
 	Baseline *report `json:"baseline,omitempty"`
@@ -97,8 +100,19 @@ func run() error {
 		skipCamp   = flag.Bool("skip-campaigns", false, "skip the end-to-end campaign timings")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit")
+		vms        = flag.String("vms", "1,2,4,8", "comma-separated VM counts for the fleet scaling section")
+		fleetOut   = flag.String("fleet-out", "", "write the fleet scaling report here (default stdout)")
+		fleetOnly  = flag.Bool("fleet-only", false, "run only the fleet scaling section")
 	)
 	flag.Parse()
+	if counts, err := parseVMCounts(*vms); err != nil {
+		return err
+	} else {
+		fleetVMCounts = counts
+	}
+	if *fleetOnly {
+		return runFleetBench(*fleetOut)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -114,14 +128,7 @@ func run() error {
 
 	rep := report{
 		Description: "Hot-path throughput baseline. Regenerate with `make bench-hotpath`.",
-		Host: hostInfo{
-			CPUs:       runtime.NumCPU(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			GoVersion:  runtime.Version(),
-		},
-	}
-	if rep.Host.CPUs == 1 {
-		rep.Host.Note = "host has 1 CPU: absolute numbers are honest but conservative — regenerate on the deployment hardware before comparing releases"
+		Host:        currentHostInfo(),
 	}
 
 	for _, auditors := range []int{1, 2, 3, 4, 8} {
@@ -151,6 +158,14 @@ func run() error {
 			return err
 		}
 		rep.Campaigns = camps
+	}
+
+	// The fleet scaling section has its own report file; without a
+	// destination it only runs under -fleet-only (which streams to stdout).
+	if *fleetOut != "" {
+		if err := runFleetBench(*fleetOut); err != nil {
+			return err
+		}
 	}
 
 	if *baseline != "" {

@@ -1,7 +1,9 @@
-// Command hypertap boots a monitored VM, attaches the three example auditors
-// (GOSHD, HRKD, HT-Ninja), runs a demo workload, and streams the unified
-// event log plus auditor verdicts. It demonstrates the full framework on one
-// screen; optionally it heartbeats to a Remote Health Checker.
+// Command hypertap boots a host fleet of monitored VMs sharing one Event
+// Multiplexer, attaches the three example auditors (GOSHD, HRKD, HT-Ninja)
+// per VM plus a fleet-wide event-rate accountant, runs a demo workload, and
+// streams the unified event log plus auditor verdicts. It demonstrates the
+// full framework on one screen; optionally it heartbeats to a Remote Health
+// Checker through the host's single connection.
 package main
 
 import (
@@ -10,13 +12,14 @@ import (
 	"os"
 	"time"
 
+	"hypertap/internal/auditors/fleetwatch"
 	"hypertap/internal/auditors/goshd"
 	"hypertap/internal/auditors/hrkd"
 	"hypertap/internal/auditors/ped"
 	"hypertap/internal/core"
 	"hypertap/internal/core/intercept"
 	"hypertap/internal/guest"
-	"hypertap/internal/hv"
+	"hypertap/internal/host"
 	"hypertap/internal/telemetry"
 	"hypertap/internal/telemetry/httpexport"
 	"hypertap/internal/trace"
@@ -34,45 +37,56 @@ func main() {
 func run() error {
 	var (
 		duration  = flag.Duration("duration", 10*time.Second, "virtual time to run")
-		vcpus     = flag.Int("vcpus", 2, "virtual CPUs")
+		vms       = flag.Int("vms", 1, "guest VMs sharing the host's Event Multiplexer")
+		vcpus     = flag.Int("vcpus", 2, "virtual CPUs per VM")
 		sysenter  = flag.Bool("sysenter", false, "use the fast-syscall gate instead of INT 0x80")
 		tailEvent = flag.Int("tail", 20, "print the first N decoded events per type")
 		withRHC   = flag.Bool("rhc", false, "start a Remote Health Checker and heartbeat to it over TCP")
 		traceFile = flag.String("trace", "", "record the event stream to a JSONL trace file")
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
+		seed      = flag.Int64("seed", 1, "deterministic seed (VM i runs at seed+i)")
 	)
 	flag.Parse()
+	if *vms < 1 {
+		return fmt.Errorf("-vms must be at least 1, got %d", *vms)
+	}
 
 	var reg *telemetry.Registry
 	if *telAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
 
-	cfg := hv.Config{VCPUs: *vcpus, Guest: guest.Config{Seed: *seed}, Telemetry: reg}
-	if *sysenter {
-		cfg.Guest.Mech = guest.MechSysenter
-	}
-	m, err := hv.New(cfg)
-	if err != nil {
-		return err
-	}
-	engine, err := m.EnableMonitoring(intercept.Features{
+	feat := intercept.Features{
 		ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true, Syscalls: true, IO: true,
-	})
+	}
+	specs := make([]host.VMSpec, *vms)
+	for i := range specs {
+		gcfg := guest.Config{Seed: *seed + int64(i)}
+		if *sysenter {
+			gcfg.Mech = guest.MechSysenter
+		}
+		specs[i] = host.VMSpec{
+			Name:  fmt.Sprintf("vm%d", i),
+			VCPUs: *vcpus, Guest: gcfg,
+			Monitor: true, Features: feat,
+		}
+	}
+	h, err := host.New(host.Config{Name: "host0", Telemetry: reg, VMs: specs})
 	if err != nil {
 		return err
 	}
+	em := h.EM()
 
-	// Event tail printer.
+	// Event tail printer: one fleet-wide subscriber, VM-attributed lines.
 	printed := make(map[core.EventType]int)
 	tail := &core.AuditorFunc{AuditorName: "tail", EventMask: core.MaskAll, Fn: func(ev *core.Event) {
 		if printed[ev.Type] < *tailEvent {
 			printed[ev.Type]++
-			fmt.Println("  event:", ev)
+			name, _ := em.VMName(ev.VM)
+			fmt.Printf("  event[%s]: %v\n", name, ev)
 		}
 	}}
-	if err := m.EM().Register(tail, core.DeliverAsync, 0); err != nil {
+	if err := em.Register(tail, core.DeliverAsync, 0); err != nil {
 		return err
 	}
 
@@ -83,7 +97,7 @@ func run() error {
 			return err
 		}
 		rec := trace.NewRecorder(f, core.MaskAll)
-		if err := m.EM().Register(rec, core.DeliverAsync, 0); err != nil {
+		if err := em.Register(rec, core.DeliverAsync, 0); err != nil {
 			return err
 		}
 		defer func() {
@@ -93,47 +107,79 @@ func run() error {
 		}()
 	}
 
-	// The three auditors.
-	det, err := goshd.New(goshd.Config{Clock: m.Clock(), VCPUs: *vcpus, Threshold: 4 * time.Second,
-		OnHang: func(a goshd.HangAlarm) { fmt.Println("ALARM:", a) }})
-	if err != nil {
-		return err
-	}
-	if reg != nil {
-		det.EnableTelemetry(reg)
-	}
-	if err := m.EM().Register(det, core.DeliverAsync, 0); err != nil {
-		return err
-	}
-	if err := m.Boot(); err != nil {
-		return err
-	}
-	det.Start()
-
-	intro := vmi.New(m, m.Kernel().Symbols())
-	rk, err := hrkd.New(hrkd.Config{View: m, Counter: engine, Intro: intro})
-	if err != nil {
-		return err
-	}
-	if reg != nil {
-		rk.EnableTelemetry(reg)
-	}
-	if err := m.EM().Register(rk, core.DeliverAsync, 0); err != nil {
-		return err
-	}
-	htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(), View: m, Intro: intro,
-		OnDetect: func(d ped.Detection) { fmt.Println("ALARM:", d) }})
-	if err != nil {
-		return err
-	}
-	if reg != nil {
-		htn.EnableTelemetry(reg)
-	}
-	if err := m.EM().Register(htn, core.DeliverSync, 0); err != nil {
-		return err
+	// Per-VM GOSHD detectors, registered (VM-scoped) before boot so no
+	// context switch escapes them.
+	dets := make([]*goshd.Detector, *vms)
+	for i := 0; i < *vms; i++ {
+		m := h.Machine(i)
+		name := m.Name()
+		det, err := goshd.New(goshd.Config{VM: m.VMID(), Clock: m.Clock(), VCPUs: *vcpus,
+			Threshold: 4 * time.Second,
+			OnHang:    func(a goshd.HangAlarm) { fmt.Printf("ALARM[%s]: %v\n", name, a) }})
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			det.EnableTelemetry(reg)
+		}
+		if err := em.RegisterAuditor(det, core.DeliverAsync, 0); err != nil {
+			return err
+		}
+		dets[i] = det
 	}
 
-	// Optional RHC over real TCP.
+	// The fleet-wide consumer: cross-VM event-rate accounting.
+	var fw *fleetwatch.Accountant
+	if *vms > 1 {
+		fw = fleetwatch.New(fleetwatch.Config{
+			VMName:  em.VMName,
+			OnStorm: func(s fleetwatch.Storm) { fmt.Println("ALARM:", s) },
+		})
+		if reg != nil {
+			fw.EnableTelemetry(reg)
+		}
+		if err := em.RegisterAuditor(fw, core.DeliverAsync, 1<<16); err != nil {
+			return err
+		}
+	}
+
+	if err := h.Boot(); err != nil {
+		return err
+	}
+
+	// Per-VM security auditors need booted kernels (symbol tables).
+	rks := make([]*hrkd.Detector, *vms)
+	for i := 0; i < *vms; i++ {
+		m := h.Machine(i)
+		name := m.Name()
+		dets[i].Start()
+		intro := vmi.New(m, m.Kernel().Symbols())
+		rk, err := hrkd.New(hrkd.Config{VM: m.VMID(), View: m, Counter: m.Engine(), Intro: intro})
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			rk.EnableTelemetry(reg)
+		}
+		if err := em.RegisterAuditor(rk, core.DeliverAsync, 0); err != nil {
+			return err
+		}
+		rks[i] = rk
+		htn, err := ped.NewHTNinja(ped.HTNinjaConfig{Policy: ped.DefaultPolicy(),
+			VM: m.VMID(), View: m, Intro: intro,
+			OnDetect: func(d ped.Detection) { fmt.Printf("ALARM[%s]: %v\n", name, d) }})
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			htn.EnableTelemetry(reg)
+		}
+		if err := em.RegisterAuditor(htn, core.DeliverSync, 0); err != nil {
+			return err
+		}
+	}
+
+	// Optional RHC over real TCP: one connection carries the whole fleet.
 	var health httpexport.Health
 	if *withRHC {
 		srv, err := core.NewRHCServer("127.0.0.1:0", 500*time.Millisecond)
@@ -145,12 +191,10 @@ func run() error {
 			srv.EnableTelemetry(reg)
 		}
 		health = srv.Health
-		client, err := core.DialRHC(m.Name(), srv.Addr())
-		if err != nil {
+		if err := h.ConnectRHC(srv.Addr(), 64); err != nil {
 			return err
 		}
-		defer func() { _ = client.Close() }()
-		m.EM().SetSampler(64, client.Send)
+		defer func() { _ = h.Close() }()
 		fmt.Println("RHC listening on", srv.Addr())
 		go func() {
 			for alert := range srv.Alerts() {
@@ -170,41 +214,55 @@ func run() error {
 		fmt.Println("telemetry listening on", tsrv.Addr())
 	}
 
-	// A demo workload.
-	if _, err := workload.Launch(m, workload.MakeJ(2, 1<<20)); err != nil {
-		return err
-	}
-	if _, err := m.Kernel().CreateProcess(workload.SSHD(), nil); err != nil {
-		return err
+	// A demo workload per VM.
+	for i := 0; i < *vms; i++ {
+		m := h.Machine(i)
+		if _, err := workload.Launch(m, workload.MakeJ(2, 1<<20)); err != nil {
+			return err
+		}
+		if _, err := m.Kernel().CreateProcess(workload.SSHD(), nil); err != nil {
+			return err
+		}
 	}
 
-	fmt.Printf("running %v of virtual time on %d vCPUs (%v gate)...\n",
-		*duration, *vcpus, m.Kernel().Config().Mech)
+	fmt.Printf("running %v of virtual time: %d VM(s) x %d vCPUs (%v gate) on one EM...\n",
+		*duration, *vms, *vcpus, h.Machine(0).Kernel().Config().Mech)
 	start := time.Now()
-	m.Run(*duration)
+	h.Run(*duration)
 	real := time.Since(start)
 
 	fmt.Printf("\ndone: %v virtual in %v real (%.0fx)\n", *duration, real.Round(time.Millisecond),
 		duration.Seconds()/real.Seconds())
-	st := m.Kernel().Stats()
-	fmt.Printf("guest: %d syscalls, %d context switches, %d procs created\n",
-		st.Syscalls, st.ContextSwitches, st.ProcsCreated)
-	fmt.Printf("exits: %d total\n", m.TotalExits())
-	fmt.Println("\nengine decode counts:")
-	for ty, n := range engine.Stats().Decoded {
+	for i := 0; i < *vms; i++ {
+		m := h.Machine(i)
+		st := m.Kernel().Stats()
+		fmt.Printf("%s: %d syscalls, %d context switches, %d procs created, %d exits, %d events\n",
+			m.Name(), st.Syscalls, st.ContextSwitches, st.ProcsCreated,
+			m.TotalExits(), em.PublishedVM(m.VMID()))
+	}
+	fmt.Printf("fleet: %d events published\n", em.Published())
+	if fw != nil {
+		fmt.Printf("fleetwatch: %d events accounted, %d storms\n", fw.Total(), len(fw.Storms()))
+	}
+	fmt.Println("\nengine decode counts (vm0):")
+	for ty, n := range h.Machine(0).Engine().Stats().Decoded {
 		fmt.Printf("  %-16v %d\n", ty, n)
 	}
 	fmt.Println("\nEM subscriptions:")
-	for _, s := range m.EM().Stats() {
-		fmt.Printf("  %-10s %-6v delivered=%d queued=%d dropped=%d\n",
-			s.Auditor, s.Mode, s.Delivered, s.Queued, s.Dropped)
+	for _, s := range em.Stats() {
+		fmt.Printf("  %-10s %-6s %-6v delivered=%d queued=%d dropped=%d\n",
+			s.Auditor, s.Scope, s.Mode, s.Delivered, s.Queued, s.Dropped)
 	}
-	report, err := rk.CrossCheck()
-	if err != nil {
-		return err
+	for i := 0; i < *vms; i++ {
+		m := h.Machine(i)
+		report, err := rks[i].CrossCheck()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s HRKD cross-view: %d address spaces, %d threads, %d hidden\n",
+			m.Name(), report.ArchAddressSpaces, report.ArchThreads, len(report.Hidden))
+		fmt.Printf("%s process count (Fig. 3A): %d live address spaces\n",
+			m.Name(), m.Engine().CountProcesses())
 	}
-	fmt.Printf("\nHRKD cross-view: %d address spaces, %d threads, %d hidden\n",
-		report.ArchAddressSpaces, report.ArchThreads, len(report.Hidden))
-	fmt.Printf("process count (Fig. 3A): %d live address spaces\n", engine.CountProcesses())
 	return nil
 }

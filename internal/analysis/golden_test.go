@@ -83,6 +83,9 @@ func TestGolden(t *testing.T) {
 		// hotpath is marker-driven and path-independent.
 		{"hotpath_bad", "hypertap/internal/hv"},
 		{"hotpath_allow", "hypertap/internal/telemetry"},
+		// the fleet refactor's VM-indexed publish path: the clean function
+		// must stay finding-free; the map-routing variant must not.
+		{"hotpath_vmroute", "hypertap/internal/core"},
 		// multi-file package: allow-file in a.go must not cover b.go.
 		{"multifile", "hypertap/internal/gmem"},
 	}

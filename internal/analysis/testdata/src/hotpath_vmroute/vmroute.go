@@ -1,0 +1,63 @@
+// Package fixture models the host-shared EM's VM-indexed publish path.
+// The clean function routes on (VMID, event type) with two bounds checks
+// and slice indexing only — it must produce zero findings, pinning the
+// fleet refactor's hot-path contract. The by-name variant is the deliberate
+// violation: routing through a map hashes and walks in hash order per
+// event.
+package fixture
+
+type event struct {
+	vm  uint16
+	typ uint8
+}
+
+type sub func(*event)
+
+const slots = 33
+
+// vmRoutes is one VM's merged (VM-scoped + fleet-wide) routing table.
+type vmRoutes struct {
+	slot [slots][]sub
+}
+
+type table struct {
+	perVM    []vmRoutes
+	overflow vmRoutes
+	byName   map[uint16][]sub
+}
+
+// routeIndex mirrors the mask-indexed slot computation.
+func routeIndex(t uint8) int {
+	if int(t) < slots-1 {
+		return int(t)
+	}
+	return slots - 1
+}
+
+// publish is the clean VM-indexed path: no locks, no maps, no allocation.
+//
+//hypertap:hotpath
+func (t *table) publish(ev *event) {
+	vt := &t.overflow
+	if int(ev.vm) < len(t.perVM) {
+		vt = &t.perVM[ev.vm]
+	}
+	for _, s := range vt.slot[routeIndex(ev.typ)] {
+		s(ev)
+	}
+}
+
+// publishByName is the deliberate violation the refactor designed out:
+// per-VM routing through a map.
+//
+//hypertap:hotpath
+func (t *table) publishByName(ev *event) {
+	for vm, subs := range t.byName {
+		if vm != ev.vm {
+			continue
+		}
+		for _, s := range subs {
+			s(ev)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package fleetwatch implements the host fleet's cross-VM consumer: an
+// event-rate accountant subscribed fleet-wide on the shared Event
+// Multiplexer.
+//
+// Per-VM auditors (GOSHD, HRKD, PED) see only their own VM's events; the
+// accountant is the complement the per-host deployment of the paper's
+// Fig. 2 enables — one subscriber that sees every VM's stream and can
+// therefore notice *relative* anomalies no single-VM view exposes. It
+// tallies event counts per VM over virtual-time windows and flags an exit
+// storm when one VM's rate dwarfs the rest of the fleet's: the noisy
+// neighbor whose monitoring (and exit) load degrades co-resident guests.
+//
+// Like every auditor, it consumes only the Event stream — no guest or
+// hypervisor internals — so the eventsonly isolation invariant holds.
+package fleetwatch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/telemetry"
+)
+
+// Storm reports one windowed rate anomaly.
+type Storm struct {
+	// VM is the storming VM's identity on the shared EM.
+	VM core.VMID
+	// VMName is the registered name ("" when no resolver was configured).
+	VMName string
+	// Count is the VM's event count in the offending window.
+	Count uint64
+	// FleetMean is the mean count of the *other* active VMs in that window.
+	FleetMean float64
+	// WindowStart is the virtual time the offending window began.
+	WindowStart time.Duration
+}
+
+func (s Storm) String() string {
+	who := s.VMName
+	if who == "" {
+		who = fmt.Sprintf("vm%d", s.VM)
+	}
+	return fmt.Sprintf("fleetwatch: %s stormed %d events in window @%v (fleet mean %.1f)",
+		who, s.Count, s.WindowStart, s.FleetMean)
+}
+
+// Config describes an accountant.
+type Config struct {
+	// Window is the virtual-time accounting window. Default 100ms.
+	Window time.Duration
+	// MinEvents is the per-window floor below which a VM can never storm
+	// (absolute rate gate). Default 500.
+	MinEvents uint64
+	// Factor is the relative gate: a VM storms when its window count
+	// exceeds Factor × the mean count of the other active VMs. Default 4.
+	Factor float64
+	// VMName, when set, resolves VMIDs to names for Storm reports and
+	// per-VM telemetry labels (typically Multiplexer.VMName).
+	VMName func(core.VMID) (string, bool)
+	// OnStorm, when set, is invoked (on the delivering goroutine) per storm.
+	OnStorm func(Storm)
+}
+
+// Accountant is the fleet-wide event-rate auditor.
+type Accountant struct {
+	cfg Config
+
+	mu          sync.Mutex
+	windowStart time.Duration
+	window      []uint64 // per-VM counts, current window
+	totals      []uint64 // per-VM counts, lifetime
+	total       uint64
+	storms      []Storm
+	tel         *acctTelemetry
+	vmCounters  []*telemetry.Counter
+}
+
+// acctTelemetry is the accountant's instrument set.
+type acctTelemetry struct {
+	reg    *telemetry.Registry
+	events *telemetry.Counter
+	storms *telemetry.Counter
+}
+
+// New builds an accountant.
+func New(cfg Config) *Accountant {
+	if cfg.Window <= 0 {
+		cfg.Window = 100 * time.Millisecond
+	}
+	if cfg.MinEvents == 0 {
+		cfg.MinEvents = 500
+	}
+	if cfg.Factor <= 0 {
+		cfg.Factor = 4
+	}
+	return &Accountant{cfg: cfg}
+}
+
+var _ core.Auditor = (*Accountant)(nil)
+var _ core.VMScoped = (*Accountant)(nil)
+
+// Name implements core.Auditor.
+func (a *Accountant) Name() string { return "fleetwatch" }
+
+// Mask implements core.Auditor: rate accounting wants every event class.
+func (a *Accountant) Mask() core.EventMask { return core.MaskAll }
+
+// VMScope implements core.VMScoped: the accountant is the fleet-wide
+// subscriber — it must see every VM to compare them.
+func (a *Accountant) VMScope() core.VMScope { return core.ScopeFleet() }
+
+// EnableTelemetry registers hypertap_fleetwatch_events_total (rolled up and,
+// when a VMName resolver is configured, per-VM with a vm label) and
+// hypertap_fleetwatch_storms_total on reg. Call before registering with the
+// EM.
+func (a *Accountant) EnableTelemetry(reg *telemetry.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tel = &acctTelemetry{
+		reg:    reg,
+		events: reg.Counter("hypertap_fleetwatch_events_total"),
+		storms: reg.Counter("hypertap_fleetwatch_storms_total"),
+	}
+}
+
+// HandleEvent implements core.Auditor. Events arrive in fleet order (the
+// shared EM's publish order), so window rollovers are deterministic for a
+// deterministic schedule.
+func (a *Accountant) HandleEvent(ev *core.Event) {
+	a.mu.Lock()
+	vm := int(ev.VM)
+	for vm >= len(a.window) {
+		a.window = append(a.window, 0)
+		a.totals = append(a.totals, 0)
+		a.vmCounters = append(a.vmCounters, nil)
+	}
+	var fired []Storm
+	if ev.Time >= a.windowStart+a.cfg.Window {
+		fired = a.closeWindowLocked(ev.Time)
+	}
+	a.window[vm]++
+	a.totals[vm]++
+	a.total++
+	tel := a.tel
+	ctr := a.perVMCounterLocked(ev.VM)
+	onStorm := a.cfg.OnStorm
+	a.mu.Unlock()
+	if tel != nil {
+		tel.events.Inc()
+		if ctr != nil {
+			ctr.Inc()
+		}
+	}
+	if onStorm != nil {
+		for _, s := range fired {
+			onStorm(s)
+		}
+	}
+}
+
+// perVMCounterLocked lazily creates the vm-labeled series for a VM the
+// accountant has now seen. Caller holds a.mu.
+func (a *Accountant) perVMCounterLocked(vm core.VMID) *telemetry.Counter {
+	if a.tel == nil || a.cfg.VMName == nil {
+		return nil
+	}
+	if c := a.vmCounters[vm]; c != nil {
+		return c
+	}
+	name, ok := a.cfg.VMName(vm)
+	if !ok {
+		return nil
+	}
+	c := a.tel.reg.Counter("hypertap_fleetwatch_events_total", telemetry.L("vm", name))
+	a.vmCounters[vm] = c
+	return c
+}
+
+// closeWindowLocked evaluates the finished window for storms, opens the
+// window containing now, and returns the storms it raised so the caller can
+// run OnStorm outside the lock. Caller holds a.mu.
+func (a *Accountant) closeWindowLocked(now time.Duration) []Storm {
+	var fired []Storm
+	var windowTotal, active uint64
+	for _, n := range a.window {
+		if n > 0 {
+			windowTotal += n
+			active++
+		}
+	}
+	for vm, n := range a.window {
+		if n <= a.cfg.MinEvents {
+			continue
+		}
+		var othersMean float64
+		if active > 1 {
+			othersMean = float64(windowTotal-n) / float64(active-1)
+		}
+		if float64(n) <= a.cfg.Factor*othersMean {
+			continue
+		}
+		storm := Storm{VM: core.VMID(vm), Count: n, FleetMean: othersMean, WindowStart: a.windowStart}
+		if a.cfg.VMName != nil {
+			if name, ok := a.cfg.VMName(storm.VM); ok {
+				storm.VMName = name
+			}
+		}
+		a.storms = append(a.storms, storm)
+		fired = append(fired, storm)
+		if a.tel != nil {
+			a.tel.storms.Inc()
+		}
+	}
+	for i := range a.window {
+		a.window[i] = 0
+	}
+	// Snap the new window's start to the grid so idle gaps do not shift
+	// later windows.
+	a.windowStart += (now - a.windowStart) / a.cfg.Window * a.cfg.Window
+	return fired
+}
+
+// Storms snapshots the raised storm reports.
+func (a *Accountant) Storms() []Storm {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Storm, len(a.storms))
+	copy(out, a.storms)
+	return out
+}
+
+// Total returns the lifetime fleet-wide event count.
+func (a *Accountant) Total() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// VMTotal returns one VM's lifetime event count.
+func (a *Accountant) VMTotal(vm core.VMID) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(vm) >= len(a.totals) {
+		return 0
+	}
+	return a.totals[vm]
+}

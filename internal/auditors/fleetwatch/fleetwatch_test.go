@@ -1,0 +1,154 @@
+package fleetwatch
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/telemetry"
+)
+
+// feed publishes n synthetic events for vm spread evenly across [start,
+// start+span).
+func feed(a *Accountant, vm core.VMID, n int, start, span time.Duration) {
+	for i := 0; i < n; i++ {
+		ev := core.Event{
+			Type: core.EvSyscall,
+			VM:   vm,
+			Time: start + span*time.Duration(i)/time.Duration(n),
+		}
+		a.HandleEvent(&ev)
+	}
+}
+
+func TestStormDetection(t *testing.T) {
+	names := []string{"quiet-a", "noisy", "quiet-b"}
+	var got []Storm
+	a := New(Config{
+		Window:    100 * time.Millisecond,
+		MinEvents: 50,
+		Factor:    4,
+		VMName: func(vm core.VMID) (string, bool) {
+			if int(vm) < len(names) {
+				return names[vm], true
+			}
+			return "", false
+		},
+		OnStorm: func(s Storm) { got = append(got, s) },
+	})
+
+	// Window 0: balanced — 40 events each, below MinEvents. No storm.
+	// Window 1: VM 1 spams 400 while the others stay at 40.
+	for w, counts := range [][3]int{{40, 40, 40}, {40, 400, 40}} {
+		start := time.Duration(w) * 100 * time.Millisecond
+		for vm, n := range counts {
+			feed(a, core.VMID(vm), n, start, 100*time.Millisecond)
+		}
+	}
+	// One event in window 2 closes window 1.
+	feed(a, 0, 1, 200*time.Millisecond, time.Millisecond)
+
+	storms := a.Storms()
+	if len(storms) != 1 {
+		t.Fatalf("storms = %v, want exactly one", storms)
+	}
+	s := storms[0]
+	if s.VM != 1 || s.VMName != "noisy" {
+		t.Fatalf("storm names %q (vm%d), want noisy (vm1)", s.VMName, s.VM)
+	}
+	if s.Count != 400 {
+		t.Fatalf("storm count = %d, want 400", s.Count)
+	}
+	if s.FleetMean != 40 {
+		t.Fatalf("fleet mean = %v, want 40", s.FleetMean)
+	}
+	if s.WindowStart != 100*time.Millisecond {
+		t.Fatalf("window start = %v, want 100ms", s.WindowStart)
+	}
+	if len(got) != 1 || got[0] != s {
+		t.Fatalf("OnStorm saw %v, want [%v]", got, s)
+	}
+}
+
+func TestBalancedLoadNoStorm(t *testing.T) {
+	a := New(Config{Window: 100 * time.Millisecond, MinEvents: 50, Factor: 4})
+	for w := 0; w < 5; w++ {
+		start := time.Duration(w) * 100 * time.Millisecond
+		for vm := 0; vm < 4; vm++ {
+			feed(a, core.VMID(vm), 300, start, 100*time.Millisecond)
+		}
+	}
+	if storms := a.Storms(); len(storms) != 0 {
+		t.Fatalf("balanced fleet raised storms: %v", storms)
+	}
+	if a.Total() != 5*4*300 {
+		t.Fatalf("total = %d, want %d", a.Total(), 5*4*300)
+	}
+	for vm := core.VMID(0); vm < 4; vm++ {
+		if a.VMTotal(vm) != 5*300 {
+			t.Fatalf("vm%d total = %d, want %d", vm, a.VMTotal(vm), 5*300)
+		}
+	}
+}
+
+func TestSoloVMStormsOnAbsoluteGate(t *testing.T) {
+	// A single-VM host has no fleet mean; MinEvents alone gates.
+	a := New(Config{Window: 100 * time.Millisecond, MinEvents: 1000, Factor: 4})
+	feed(a, 0, 1500, 0, 100*time.Millisecond)
+	feed(a, 0, 1, 100*time.Millisecond, time.Millisecond)
+	storms := a.Storms()
+	if len(storms) != 1 || storms[0].Count != 1500 || storms[0].FleetMean != 0 {
+		t.Fatalf("storms = %v, want one with count 1500 and zero mean", storms)
+	}
+}
+
+func TestFleetScopeAndMask(t *testing.T) {
+	a := New(Config{})
+	if !a.VMScope().Fleet() {
+		t.Fatal("fleetwatch must subscribe fleet-wide")
+	}
+	if a.Mask() != core.MaskAll {
+		t.Fatalf("mask = %v, want MaskAll", a.Mask())
+	}
+	if a.Name() != "fleetwatch" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestPerVMTelemetry(t *testing.T) {
+	names := []string{"vm-a", "vm-b"}
+	reg := telemetry.NewRegistry()
+	a := New(Config{
+		Window: time.Second, MinEvents: 10, Factor: 2,
+		VMName: func(vm core.VMID) (string, bool) {
+			if int(vm) < len(names) {
+				return names[vm], true
+			}
+			return "", false
+		},
+	})
+	a.EnableTelemetry(reg)
+	feed(a, 0, 3, 0, time.Millisecond)
+	feed(a, 1, 5, 0, time.Millisecond)
+
+	want := map[string]uint64{"": 8, "vm-a": 3, "vm-b": 5}
+	snap := reg.Snapshot()
+	got := make(map[string]uint64)
+	for _, m := range snap.Counters {
+		if m.Name != "hypertap_fleetwatch_events_total" {
+			continue
+		}
+		var vm string
+		for _, l := range m.Labels {
+			if l.Key == "vm" {
+				vm = l.Value
+			}
+		}
+		got[vm] = m.Value
+	}
+	for vm, n := range want {
+		if got[vm] != n {
+			t.Fatalf("events_total{vm=%q} = %d, want %d (all: %v)", vm, got[vm], n, got)
+		}
+	}
+}

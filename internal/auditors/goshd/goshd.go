@@ -45,6 +45,10 @@ func (a HangAlarm) String() string {
 
 // Config describes a detector.
 type Config struct {
+	// VM scopes the detector to one VM on a host-shared Event Multiplexer:
+	// registered via RegisterAuditor, it receives only that VM's context
+	// switches. Zero (VM 0) is correct for solo machines.
+	VM core.VMID
 	// Clock is the virtual clock used to arm silence timers.
 	Clock *vclock.Clock
 	// VCPUs is the number of vCPUs to watch.
@@ -111,9 +115,14 @@ func New(cfg Config) (*Detector, error) {
 }
 
 var _ core.Auditor = (*Detector)(nil)
+var _ core.VMScoped = (*Detector)(nil)
 
 // Name implements core.Auditor.
 func (d *Detector) Name() string { return "goshd" }
+
+// VMScope implements core.VMScoped: a detector watches exactly one VM's
+// scheduling, so on a shared EM it subscribes to its VM's events only.
+func (d *Detector) VMScope() core.VMScope { return core.ScopeVM(d.cfg.VM) }
 
 // Mask implements core.Auditor: GOSHD needs only context-switch events —
 // the same events HRKD uses, demonstrating the shared logging channel.

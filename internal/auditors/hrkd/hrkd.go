@@ -85,6 +85,10 @@ func (r *CrossViewReport) Detected() bool { return len(r.Hidden) > 0 }
 
 // Config describes a detector.
 type Config struct {
+	// VM scopes the detector to one VM on a host-shared Event Multiplexer;
+	// View, Counter and Intro must all belong to that VM. Zero (VM 0) is
+	// correct for solo machines.
+	VM core.VMID
 	// View is the guest helper API.
 	View core.GuestView
 	// Counter is the Fig. 3A process counter (the interception engine).
@@ -140,9 +144,14 @@ func New(cfg Config) (*Detector, error) {
 }
 
 var _ core.Auditor = (*Detector)(nil)
+var _ core.VMScoped = (*Detector)(nil)
 
 // Name implements core.Auditor.
 func (d *Detector) Name() string { return "hrkd" }
+
+// VMScope implements core.VMScoped: the detector cross-checks one VM's
+// GuestView, so on a shared EM it subscribes to that VM's events only.
+func (d *Detector) VMScope() core.VMScope { return core.ScopeVM(d.cfg.VM) }
 
 // Mask implements core.Auditor: the same context-switch events GOSHD uses.
 func (d *Detector) Mask() core.EventMask {

@@ -29,6 +29,7 @@ var wallNow = time.Now //hypertap:allow wallclock latency sampling measures real
 // can blind it, and there is no polling interval to slip through.
 type HTNinja struct {
 	policy Policy
+	vm     core.VMID
 	view   core.GuestView
 	intro  *vmi.Introspector
 	// onDetect, when set, runs synchronously per detection (e.g. pause the
@@ -70,7 +71,10 @@ func (n *HTNinja) EnableTelemetry(reg *telemetry.Registry) {
 
 // HTNinjaConfig assembles the auditor.
 type HTNinjaConfig struct {
-	Policy   Policy
+	Policy Policy
+	// VM scopes the auditor to one VM on a host-shared Event Multiplexer;
+	// View and Intro must belong to that VM. Zero works for solo machines.
+	VM       core.VMID
 	View     core.GuestView
 	Intro    *vmi.Introspector
 	OnDetect func(Detection)
@@ -83,6 +87,7 @@ func NewHTNinja(cfg HTNinjaConfig) (*HTNinja, error) {
 	}
 	return &HTNinja{
 		policy:   cfg.Policy,
+		vm:       cfg.VM,
 		view:     cfg.View,
 		intro:    cfg.Intro,
 		onDetect: cfg.OnDetect,
@@ -92,9 +97,14 @@ func NewHTNinja(cfg HTNinjaConfig) (*HTNinja, error) {
 }
 
 var _ core.Auditor = (*HTNinja)(nil)
+var _ core.VMScoped = (*HTNinja)(nil)
 
 // Name implements core.Auditor.
 func (n *HTNinja) Name() string { return "ht-ninja" }
+
+// VMScope implements core.VMScoped: the auditor derives identities from one
+// VM's architectural state, so on a shared EM it sees only that VM's events.
+func (n *HTNinja) VMScope() core.VMScope { return core.ScopeVM(n.vm) }
 
 // Mask implements core.Auditor: first context switches and system calls.
 func (n *HTNinja) Mask() core.EventMask {

@@ -51,6 +51,7 @@ func (m DeliveryMode) String() string {
 type SubscriptionStats struct {
 	Auditor   string
 	Mode      DeliveryMode
+	Scope     VMScope
 	Delivered uint64
 	Queued    uint64
 	Dropped   uint64
@@ -61,6 +62,7 @@ type subscription struct {
 	auditor Auditor
 	mode    DeliveryMode
 	mask    EventMask
+	scope   VMScope
 
 	// ring is the bounded event queue for async delivery. Events are
 	// copied in, so auditors never alias the forwarder's buffer.
@@ -101,8 +103,16 @@ type Multiplexer struct {
 	// rrStart rotates the subscriber Dispatch starts from, so bounded
 	// drains do not perpetually favor early registrants.
 	rrStart int
-	// routes indexes subscriptions by event type (see route.go), rebuilt on
-	// every Register/Unregister/EnableTelemetry so Publish is a lookup.
+	// vms names the attached VMs, indexed by VMID (see vmid.go); empty for
+	// a bare EM, where every event is implicitly VM 0.
+	vms []string
+	// pubByVM counts published events per attached VM, maintained under the
+	// EM lock so the per-VM telemetry series are snapshot-time CounterFuncs
+	// like the host total — the hot path pays one bounds-checked increment.
+	pubByVM []uint64
+	// routes indexes subscriptions by (VMID, event type) (see route.go),
+	// rebuilt on every AttachVM/Register/Unregister/EnableTelemetry so
+	// Publish is a lookup.
 	routes routeTable
 	// scratch is the reusable Dispatch batch buffer; a draining goroutine
 	// detaches it under the lock so concurrent Dispatch calls never share.
@@ -130,7 +140,9 @@ const latencySampleEvery = 256
 
 // EnableTelemetry registers the EM's instruments on reg and begins
 // recording. Call it before traffic starts (it is not synchronized against
-// in-flight deliveries). Exported series: hypertap_events_published_total,
+// in-flight deliveries). Exported series: hypertap_events_published_total
+// (the unlabeled host total plus one {vm=...}-labeled series per attached
+// VM, so per-VM rates roll up to host totals on /metrics),
 // hypertap_events_dropped_total, hypertap_async_queue_depth,
 // hypertap_async_queue_highwater and per-auditor
 // hypertap_auditor_handle_seconds histograms.
@@ -144,11 +156,24 @@ func (m *Multiplexer) EnableTelemetry(reg *telemetry.Registry) {
 		highWater: reg.Gauge("hypertap_async_queue_highwater"),
 	}
 	reg.CounterFunc("hypertap_events_published_total", m.Published)
+	for id := range m.vms {
+		m.registerVMSeriesLocked(VMID(id))
+	}
 	for _, s := range m.subs {
 		s.hist = m.tel.reg.Histogram("hypertap_auditor_handle_seconds",
 			telemetry.L("auditor", s.auditor.Name()))
 	}
-	m.routes.rebuild(m.subs)
+	m.routes.rebuild(m.subs, len(m.vms))
+}
+
+// registerVMSeriesLocked registers the {vm=name} published-events series for
+// one attached VM. The fn is snapshot-time only: it takes the EM lock, which
+// is the documented CounterFunc pattern (scrapes pay the lock, Publish pays
+// a plain array increment it already owns the lock for).
+func (m *Multiplexer) registerVMSeriesLocked(id VMID) {
+	m.tel.reg.CounterFunc("hypertap_events_published_total", func() uint64 {
+		return m.PublishedVM(id)
+	}, telemetry.L("vm", m.vms[id]))
 }
 
 // NewMultiplexer creates an empty EM.
@@ -159,10 +184,30 @@ func NewMultiplexer() *Multiplexer {
 // DefaultQueueCap is the per-auditor async ring capacity.
 const DefaultQueueCap = 4096
 
-// Register subscribes an auditor. queueCap bounds the async ring (0 means
-// DefaultQueueCap); events beyond capacity are dropped and counted, matching
-// the non-blocking forwarding design.
+// Register subscribes an auditor fleet-wide: it receives every attached
+// VM's events. On a solo machine (one VM) this is the pre-fleet behavior
+// unchanged. queueCap bounds the async ring (0 means DefaultQueueCap);
+// events beyond capacity are dropped and counted, matching the non-blocking
+// forwarding design.
 func (m *Multiplexer) Register(a Auditor, mode DeliveryMode, queueCap int) error {
+	return m.RegisterScoped(a, ScopeFleet(), mode, queueCap)
+}
+
+// RegisterAuditor subscribes an auditor under the scope it declares via the
+// VMScoped interface, fleet-wide otherwise. Host wiring uses it so per-VM
+// auditors carry their own VM binding.
+func (m *Multiplexer) RegisterAuditor(a Auditor, mode DeliveryMode, queueCap int) error {
+	scope := ScopeFleet()
+	if s, ok := a.(VMScoped); ok {
+		scope = s.VMScope()
+	}
+	return m.RegisterScoped(a, scope, mode, queueCap)
+}
+
+// RegisterScoped subscribes an auditor for one VM's events (ScopeVM) or the
+// whole fleet's (ScopeFleet). A VM scope must name an attached VM — or VM 0
+// on a bare EM, where unattached publishes default to VM 0.
+func (m *Multiplexer) RegisterScoped(a Auditor, scope VMScope, mode DeliveryMode, queueCap int) error {
 	if a == nil {
 		return fmt.Errorf("core: Register called with nil auditor")
 	}
@@ -174,12 +219,21 @@ func (m *Multiplexer) Register(a Auditor, mode DeliveryMode, queueCap int) error
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if !scope.fleet {
+		attached := len(m.vms)
+		if attached == 0 {
+			attached = 1 // bare EM: VM 0 exists implicitly
+		}
+		if int(scope.vm) >= attached {
+			return fmt.Errorf("core: scope %v names an unattached VM (%d attached)", scope, len(m.vms))
+		}
+	}
 	for _, s := range m.subs {
 		if s.auditor == a {
 			return fmt.Errorf("core: auditor %q already registered", a.Name())
 		}
 	}
-	sub := &subscription{auditor: a, mode: mode, mask: a.Mask()}
+	sub := &subscription{auditor: a, mode: mode, mask: a.Mask(), scope: scope}
 	if mode == DeliverAsync {
 		sub.ring = make([]Event, queueCap)
 	}
@@ -188,7 +242,7 @@ func (m *Multiplexer) Register(a Auditor, mode DeliveryMode, queueCap int) error
 			telemetry.L("auditor", a.Name()))
 	}
 	m.subs = append(m.subs, sub)
-	m.routes.rebuild(m.subs)
+	m.routes.rebuild(m.subs, len(m.vms))
 	return nil
 }
 
@@ -205,7 +259,7 @@ func (m *Multiplexer) Unregister(a Auditor) bool {
 				m.tel.depth.Set(float64(m.asyncDepth))
 			}
 			m.subs = append(m.subs[:i], m.subs[i+1:]...)
-			m.routes.rebuild(m.subs)
+			m.routes.rebuild(m.subs, len(m.vms))
 			return true
 		}
 	}
@@ -213,6 +267,12 @@ func (m *Multiplexer) Unregister(a Auditor) bool {
 }
 
 // SetSampler installs the RHC feed: fn receives every n-th published event.
+// It is safe to call at any time, including while Publish and Dispatch run
+// concurrently: the sampler pair is written under the EM lock and Publish
+// snapshots it under the same lock before invoking it unlocked, so an
+// in-flight publish uses either the old feed or the new one, never a torn
+// mix of fn and cadence. (The race suite pins this with
+// TestSetSamplerDuringDispatch.)
 func (m *Multiplexer) SetSampler(n uint64, fn func(ev *Event)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -227,6 +287,9 @@ func (m *Multiplexer) SetSampler(n uint64, fn func(ev *Event)) {
 func (m *Multiplexer) Publish(ev *Event) {
 	m.mu.Lock() //hypertap:allow hotpath the EM is the multi-producer fan-out point; one uncontended lock is its concurrency contract
 	m.published++
+	if int(ev.VM) < len(m.pubByVM) {
+		m.pubByVM[ev.VM]++
+	}
 	tel := m.tel
 	// Latency sampling decision, taken while m.published is stable.
 	timeSync := tel != nil && m.published%latencySampleEvery == 0
@@ -237,12 +300,18 @@ func (m *Multiplexer) Publish(ev *Event) {
 		sampler(&evCopy)
 		m.mu.Lock() //hypertap:allow hotpath re-entry after the RHC sampler ran unlocked; taken once per sampleEvery events
 	}
-	// Indexed routing: the table slices are immutable once installed, so
-	// the sync slot doubles as the outside-the-lock delivery snapshot.
+	// Indexed routing on (VMID, event type): the table slices are immutable
+	// once installed, so the sync slot doubles as the outside-the-lock
+	// delivery snapshot. Events stamped with a VMID no one attached carry no
+	// VM-scoped audience and route to the fleet-only overflow table.
 	slot := routeIndex(ev.Type)
-	syncSubs := m.routes.sync[slot]
+	vt := &m.routes.overflow
+	if int(ev.VM) < len(m.routes.perVM) {
+		vt = &m.routes.perVM[ev.VM]
+	}
+	syncSubs := vt.sync[slot]
 	queuedAny := false
-	for _, s := range m.routes.async[slot] {
+	for _, s := range vt.async[slot] {
 		if s.count == len(s.ring) {
 			s.dropped++
 			if tel != nil {
@@ -388,6 +457,7 @@ func (m *Multiplexer) Stats() []SubscriptionStats {
 		out = append(out, SubscriptionStats{
 			Auditor:   s.auditor.Name(),
 			Mode:      s.mode,
+			Scope:     s.scope,
 			Delivered: s.delivered,
 			Queued:    s.queued,
 			Dropped:   s.dropped,

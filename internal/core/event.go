@@ -118,6 +118,10 @@ func AllEventTypes() []EventType {
 type Event struct {
 	// Type is the semantic class.
 	Type EventType
+	// VM identifies the producing VM on a host-shared Event Multiplexer;
+	// the Event Forwarder stamps it at decode time. Solo machines attach
+	// as VM 0, so the zero value is correct outside fleet deployments.
+	VM VMID
 	// VCPU is the virtual CPU that generated the event.
 	VCPU int
 	// Seq is the per-VM exit sequence number of the underlying exit.

@@ -47,8 +47,12 @@ type Features struct {
 type Config struct {
 	// Control is the hypervisor's per-VM control surface.
 	Control core.VMControl
-	// EM receives the decoded events.
+	// EM receives the decoded events. On a host fleet it is shared by many
+	// VMs' forwarders; VM tells them apart.
 	EM *core.Multiplexer
+	// VM is the identity stamped into every decoded event, assigned by the
+	// EM at attach time. Zero is the solo-machine default.
+	VM core.VMID
 	// Now timestamps events with the fine-grained virtual time of a vCPU.
 	// Nil falls back to Control.Now.
 	Now func(vcpu int) time.Duration
@@ -70,6 +74,7 @@ type Stats struct {
 type Engine struct {
 	ctl  core.VMControl
 	em   *core.Multiplexer
+	vm   core.VMID
 	now  func(vcpu int) time.Duration
 	feat Features
 
@@ -104,6 +109,7 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		ctl:        cfg.Control,
 		em:         cfg.EM,
+		vm:         cfg.VM,
 		now:        cfg.Now,
 		feat:       cfg.Features,
 		pdbaSet:    make(map[arch.GPA]struct{}),
@@ -328,6 +334,7 @@ func (e *Engine) publishLocked(exit *hav.Exit, t core.EventType, fill func(*core
 	e.decoded[t]++
 	ev := core.Event{
 		Type:       t,
+		VM:         e.vm,
 		VCPU:       exit.VCPU,
 		Seq:        exit.Sequence,
 		Time:       e.now(exit.VCPU),

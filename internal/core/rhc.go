@@ -56,6 +56,9 @@ type RHCServer struct {
 	received uint64
 	closed   bool
 	tel      *rhcTelemetry
+	// beatArrived (on mu) wakes WaitHeartbeat parkers on every receive and
+	// on Close.
+	beatArrived sync.Cond
 
 	alerts chan RHCAlert
 	done   chan struct{}
@@ -80,6 +83,7 @@ func NewRHCServer(addr string, threshold time.Duration) (*RHCServer, error) {
 		alerts:    make(chan RHCAlert, 16),
 		done:      make(chan struct{}),
 	}
+	s.beatArrived.L = &s.mu
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.watchdog()
@@ -144,6 +148,34 @@ func (s *RHCServer) LastHeartbeat(vm string) (Heartbeat, bool) {
 	return hb, ok
 }
 
+// WaitHeartbeat blocks until at least one heartbeat from vm has been
+// received (returning it), the timeout elapses, or the server closes. It
+// replaces the sleep-poll loops integration tests used to need: waiters
+// park on a condition variable the receive path broadcasts, so arrival is
+// observed immediately instead of at the next poll tick.
+func (s *RHCServer) WaitHeartbeat(vm string, timeout time.Duration) (Heartbeat, bool) {
+	deadline := time.Now().Add(timeout) //hypertap:allow wallclock RHC liveness waits are judged in wall time like the staleness they guard
+	// The timer only wakes the waiters so the deadline check below runs;
+	// broadcasting under the lock keeps the Cond's invariant.
+	timer := time.AfterFunc(timeout, func() { //hypertap:allow wallclock wall-time wake-up for the wait deadline
+		s.mu.Lock()
+		s.beatArrived.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if hb, ok := s.lastBeat[vm]; ok {
+			return hb, true
+		}
+		if s.closed || !time.Now().Before(deadline) { //hypertap:allow wallclock RHC liveness waits are judged in wall time like the staleness they guard
+			return Heartbeat{}, false
+		}
+		s.beatArrived.Wait()
+	}
+}
+
 // Close stops the server.
 func (s *RHCServer) Close() error {
 	s.mu.Lock()
@@ -152,6 +184,7 @@ func (s *RHCServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.beatArrived.Broadcast()
 	s.mu.Unlock()
 	close(s.done)
 	err := s.ln.Close()
@@ -200,6 +233,7 @@ func (s *RHCServer) serveConn(conn net.Conn) {
 			s.tel.heartbeats.Inc()
 			s.tel.age.Set(0)
 		}
+		s.beatArrived.Broadcast()
 		s.mu.Unlock()
 	}
 }
@@ -266,7 +300,11 @@ func parseHeartbeat(line string) (Heartbeat, error) {
 	return Heartbeat{VM: fields[0], Seq: seq, VTime: time.Duration(ns)}, nil
 }
 
-// RHCClient forwards sampled events from the EM to an RHC server.
+// RHCClient forwards sampled events from the EM to an RHC server. One
+// client per host suffices for a whole fleet: SendNamed stamps each
+// heartbeat with the producing VM's name, so a single TCP connection
+// carries per-VM liveness and the server still alerts on exactly the VM
+// that went silent.
 type RHCClient struct {
 	vm   string
 	conn net.Conn
@@ -274,7 +312,8 @@ type RHCClient struct {
 	sent uint64
 }
 
-// DialRHC connects a named VM's sampler to an RHC server.
+// DialRHC connects a named VM's (or, for a host fleet, the host's) sampler
+// to an RHC server.
 func DialRHC(vm, addr string) (*RHCClient, error) {
 	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
@@ -283,14 +322,19 @@ func DialRHC(vm, addr string) (*RHCClient, error) {
 	return &RHCClient{vm: vm, conn: conn}, nil
 }
 
-// Send forwards one sampled event as a heartbeat; best-effort (errors are
-// swallowed so the logging path never blocks on the network, matching the
-// non-blocking forwarding design).
-func (c *RHCClient) Send(ev *Event) {
+// Send forwards one sampled event as a heartbeat under the dial-time name;
+// best-effort (errors are swallowed so the logging path never blocks on the
+// network, matching the non-blocking forwarding design).
+func (c *RHCClient) Send(ev *Event) { c.SendNamed(c.vm, ev) }
+
+// SendNamed forwards one sampled event as a heartbeat attributed to vm —
+// the host fleet path, where the shared EM's sampler resolves the event's
+// VMID to a name and every VM beats through the host's one connection.
+func (c *RHCClient) SendNamed(vm string, ev *Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	_ = c.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond)) //hypertap:allow wallclock real TCP write deadline keeps the logging path non-blocking
-	if _, err := fmt.Fprintf(c.conn, "%s %d %d\n", c.vm, ev.Seq, int64(ev.Time)); err == nil {
+	if _, err := fmt.Fprintf(c.conn, "%s %d %d\n", vm, ev.Seq, int64(ev.Time)); err == nil {
 		c.sent++
 	}
 }

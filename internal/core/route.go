@@ -1,12 +1,15 @@
 package core
 
-// Mask-indexed event routing. Publish used to scan every subscription per
-// event and build the synchronous delivery set with append — a linear walk
-// plus a heap allocation on the hottest path in the system. The routing
-// table trades that for an indexed lookup: at Register/Unregister (and
-// EnableTelemetry) time the EM precomputes, for every event type, the exact
-// sync and async subscription lists, so Publish touches only the
-// subscriptions that want the event and allocates nothing.
+// (VMID, EventType)-indexed event routing. Publish used to scan every
+// subscription per event and build the synchronous delivery set with append —
+// a linear walk plus a heap allocation on the hottest path in the system.
+// PR 4 traded that for a mask-indexed table; the host fleet plane (PR 5)
+// generalizes the key from EventType to (VMID, EventType): at
+// AttachVM/Register/Unregister (and EnableTelemetry) time the EM precomputes,
+// for every attached VM and event type, the exact sync and async subscription
+// lists — the VM's own scoped auditors plus every fleet-wide subscriber, in
+// registration order — so a host-wide Publish delivers each VM's events only
+// to that VM's auditors and still touches nothing else and allocates nothing.
 
 // routeBits spans every bit an EventMask (uint32) can hold. Event types at
 // or above routeBits can never match a mask — the non-constant shift in
@@ -18,12 +21,23 @@ const (
 	routeSlots    = routeBits + 1
 )
 
-// routeTable holds the precomputed per-type subscription lists. Slices are
-// installed wholesale by rebuild and never mutated afterwards, so Publish
-// may snapshot a slot under the EM lock and iterate it after unlocking.
-type routeTable struct {
+// vmRoutes holds one VM's precomputed per-type subscription lists. Slices
+// are installed wholesale by rebuild and never mutated afterwards, so
+// Publish may snapshot a slot under the EM lock and iterate it after
+// unlocking.
+type vmRoutes struct {
 	sync  [routeSlots][]*subscription
 	async [routeSlots][]*subscription
+}
+
+// routeTable is the full host routing table: one vmRoutes per attached VM
+// (at least one, so solo machines and bare EMs route VM 0 without attach),
+// plus an overflow table holding only the fleet-wide subscribers for events
+// stamped with a VMID no one attached — those can belong to no VM-scoped
+// auditor, but a fleet-wide accountant still must not miss them.
+type routeTable struct {
+	perVM    []vmRoutes
+	overflow vmRoutes
 }
 
 // routeIndex maps an event type to its table slot.
@@ -34,14 +48,40 @@ func routeIndex(t EventType) int {
 	return int(t)
 }
 
-// rebuild recomputes every slot from the subscription list. Registration
-// order is preserved within each slot, so delivery order is identical to
-// the per-event scan this table replaced. Must be called with the EM lock
-// held.
-func (rt *routeTable) rebuild(subs []*subscription) {
+// matchesVM reports whether a subscription's scope covers VM vm.
+func (s *subscription) matchesVM(vm VMID) bool {
+	return s.scope.fleet || s.scope.vm == vm
+}
+
+// rebuild recomputes every slot from the subscription list for numVM
+// attached VMs (clamped to at least one slot). Registration order is
+// preserved within each slot — scoped and fleet-wide subscribers interleave
+// exactly as registered — so delivery order is identical to the per-event
+// scan the table replaced. Must be called with the EM lock held.
+func (rt *routeTable) rebuild(subs []*subscription, numVM int) {
+	if numVM < 1 {
+		numVM = 1
+	}
+	perVM := make([]vmRoutes, numVM)
+	for vm := range perVM {
+		perVM[vm].fill(subs, VMID(vm), false)
+	}
+	rt.perVM = perVM
+	rt.overflow.fill(subs, 0, true)
+}
+
+// fill computes one VM's (or, with fleetOnly, the overflow) slot lists.
+func (vr *vmRoutes) fill(subs []*subscription, vm VMID, fleetOnly bool) {
 	for t := 0; t < routeBits; t++ {
 		var syncList, asyncList []*subscription
 		for _, s := range subs {
+			if fleetOnly {
+				if !s.scope.fleet {
+					continue
+				}
+			} else if !s.matchesVM(vm) {
+				continue
+			}
 			if !s.mask.Has(EventType(t)) {
 				continue
 			}
@@ -51,7 +91,7 @@ func (rt *routeTable) rebuild(subs []*subscription) {
 				asyncList = append(asyncList, s)
 			}
 		}
-		rt.sync[t] = syncList
-		rt.async[t] = asyncList
+		vr.sync[t] = syncList
+		vr.async[t] = asyncList
 	}
 }

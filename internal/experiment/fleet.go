@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"hypertap/internal/auditors/fleetwatch"
+	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/experiment/runner"
+	"hypertap/internal/guest"
+	"hypertap/internal/host"
+	"hypertap/internal/telemetry"
+)
+
+// FleetConfig parameterizes the fleet campaign: a sharded run whose unit is
+// not one VM but one N-VM *host* — the paper's Fig. 2 deployment replicated
+// across a cluster. Each unit boots a host with a shared EM, per-VM GOSHD
+// auditors and a fleet-wide event-rate accountant, runs a mixed workload,
+// and reports per-VM and per-host outcomes.
+type FleetConfig struct {
+	// Hosts is the number of campaign units (default 4).
+	Hosts int
+	// VMsPerHost sizes each unit's fleet (default 3).
+	VMsPerHost int
+	// Duration is each host's virtual run length (default 2s).
+	Duration time.Duration
+	// Threshold is GOSHD's per-VM alarm threshold (default 100ms, scaled
+	// to the short campaign run).
+	Threshold time.Duration
+	// Seed is the campaign seed. Unit i gets runner.UnitSeed(Seed, i);
+	// within a unit, VM j's guest runs at unit seed + j.
+	Seed int64
+	// Parallel is the worker count; 0 selects GOMAXPROCS. Results are
+	// identical regardless of parallelism.
+	Parallel int
+	// Progress, when set, is called after each host completes
+	// (serialized by the campaign engine).
+	Progress func(done, total int)
+	// Telemetry, when set, receives each completed host's registry shard
+	// as it finishes; per-VM labeled series roll up across the campaign.
+	Telemetry *telemetry.Registry
+}
+
+func (c *FleetConfig) fillDefaults() {
+	if c.Hosts <= 0 {
+		c.Hosts = 4
+	}
+	if c.VMsPerHost <= 0 {
+		c.VMsPerHost = 3
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 100 * time.Millisecond
+	}
+}
+
+// FleetVMReport is one VM's outcome within its host.
+type FleetVMReport struct {
+	Name     string `json:"name"`
+	Seed     int64  `json:"seed"`
+	Events   uint64 `json:"events"`
+	Syscalls uint64 `json:"syscalls"`
+	Switches uint64 `json:"context_switches"`
+	Exits    uint64 `json:"vm_exits"`
+	Alarms   int    `json:"goshd_alarms"`
+}
+
+// FleetHostReport is one unit's outcome.
+type FleetHostReport struct {
+	Host   string          `json:"host"`
+	Seed   int64           `json:"seed"`
+	VMs    []FleetVMReport `json:"vms"`
+	Events uint64          `json:"events"`
+	Storms int             `json:"storms"`
+}
+
+// FleetResult is the whole campaign.
+type FleetResult struct {
+	Hosts       []FleetHostReport `json:"hosts"`
+	TotalEvents uint64            `json:"total_events"`
+	TotalAlarms int               `json:"total_alarms"`
+	TotalStorms int               `json:"total_storms"`
+}
+
+// fleetUnitWorkload gives VM slot j of every campaign host a deterministic,
+// slot-distinct loop; the rotation keeps hosts heterogeneous without any
+// per-host configuration.
+func fleetUnitWorkload(slot int) []guest.Step {
+	specs := [][]guest.Step{
+		{guest.DoSyscall(guest.SysGetPID), guest.Compute(time.Millisecond)},
+		{guest.DoSyscall(guest.SysWrite, 1, 64), guest.Compute(2 * time.Millisecond)},
+		{guest.Compute(time.Millisecond), guest.Sleep(4 * time.Millisecond)},
+	}
+	return specs[slot%len(specs)]
+}
+
+// RunFleetCampaign executes the fleet campaign on the sharded engine: hosts
+// are independent units, so the campaign parallelizes across hosts while
+// each host's internal schedule stays the deterministic single-threaded
+// round-robin the equivalence suite pins.
+func RunFleetCampaign(cfg FleetConfig) (*FleetResult, error) {
+	cfg.fillDefaults()
+	feat := intercept.Features{
+		ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true,
+		Syscalls: true, IO: true,
+	}
+
+	campaign := runner.Campaign[FleetHostReport]{
+		Units:     cfg.Hosts,
+		Parallel:  cfg.Parallel,
+		Seed:      cfg.Seed,
+		Progress:  cfg.Progress,
+		Telemetry: cfg.Telemetry != nil,
+		Live:      cfg.Telemetry,
+		Run: func(ctx *runner.Ctx) (FleetHostReport, error) {
+			hostName := fmt.Sprintf("host%d", ctx.Index)
+			specs := make([]host.VMSpec, cfg.VMsPerHost)
+			seeds := make([]int64, cfg.VMsPerHost)
+			for j := range specs {
+				seeds[j] = runner.UnitSeed(ctx.Seed, j)
+				specs[j] = host.VMSpec{
+					Name:    fmt.Sprintf("%s-vm%d", hostName, j),
+					Guest:   guest.Config{Seed: seeds[j]},
+					Monitor: true, Features: feat,
+				}
+			}
+			h, err := host.New(host.Config{
+				Name: hostName, VMs: specs, Telemetry: ctx.Telemetry,
+			})
+			if err != nil {
+				return FleetHostReport{}, err
+			}
+			dets := make([]*goshd.Detector, cfg.VMsPerHost)
+			for j := range dets {
+				m := h.Machine(j)
+				det, err := goshd.New(goshd.Config{
+					VM:        core.VMID(j),
+					Clock:     m.Clock(),
+					VCPUs:     m.NumVCPUs(),
+					Threshold: cfg.Threshold,
+				})
+				if err != nil {
+					return FleetHostReport{}, err
+				}
+				if err := h.EM().RegisterAuditor(det, core.DeliverAsync, 0); err != nil {
+					return FleetHostReport{}, err
+				}
+				dets[j] = det
+			}
+			fw := fleetwatch.New(fleetwatch.Config{VMName: h.EM().VMName})
+			if ctx.Telemetry != nil {
+				fw.EnableTelemetry(ctx.Telemetry)
+			}
+			if err := h.EM().RegisterAuditor(fw, core.DeliverAsync, 1<<16); err != nil {
+				return FleetHostReport{}, err
+			}
+			if err := h.Boot(); err != nil {
+				return FleetHostReport{}, err
+			}
+			for j := 0; j < cfg.VMsPerHost; j++ {
+				dets[j].Start()
+				if _, err := h.Machine(j).Kernel().CreateProcess(&guest.ProcSpec{
+					Comm: fmt.Sprintf("w%d", j), UID: 1000,
+					Program: &guest.LoopProgram{Body: fleetUnitWorkload(j)},
+				}, nil); err != nil {
+					return FleetHostReport{}, err
+				}
+			}
+			h.Run(cfg.Duration)
+
+			report := FleetHostReport{Host: hostName, Seed: ctx.Seed}
+			for j := 0; j < cfg.VMsPerHost; j++ {
+				m := h.Machine(j)
+				st := m.Kernel().Stats()
+				vm := FleetVMReport{
+					Name:     m.Name(),
+					Seed:     seeds[j],
+					Events:   h.EM().PublishedVM(core.VMID(j)),
+					Syscalls: st.Syscalls,
+					Switches: st.ContextSwitches,
+					Exits:    m.TotalExits(),
+					Alarms:   len(dets[j].Alarms()),
+				}
+				report.VMs = append(report.VMs, vm)
+				report.Events += vm.Events
+			}
+			report.Storms = len(fw.Storms())
+			return report, nil
+		},
+	}
+
+	res, err := campaign.Execute()
+	if err != nil {
+		return nil, err
+	}
+	out := &FleetResult{Hosts: res.Units}
+	for _, hr := range res.Units {
+		out.TotalEvents += hr.Events
+		for _, vm := range hr.VMs {
+			out.TotalAlarms += vm.Alarms
+		}
+		out.TotalStorms += hr.Storms
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestFleetCampaignParallelMatchesSerial extends the serial/parallel
+// equivalence contract to units that are whole hosts: a campaign of N-VM
+// hosts produces bit-identical reports at any worker count.
+func TestFleetCampaignParallelMatchesSerial(t *testing.T) {
+	cfg := FleetConfig{
+		Hosts:      3,
+		VMsPerHost: 2,
+		Duration:   300 * time.Millisecond,
+		Seed:       42,
+	}
+
+	serialCfg := cfg
+	serialCfg.Parallel = 1
+	serial, err := RunFleetCampaign(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelCfg := cfg
+	parallelCfg.Parallel = 4
+	parallel, err := RunFleetCampaign(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fleet campaign diverged across worker counts:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	if serial.TotalEvents == 0 {
+		t.Fatal("campaign produced no events; equivalence is vacuous")
+	}
+	for i, hr := range serial.Hosts {
+		if len(hr.VMs) != cfg.VMsPerHost {
+			t.Fatalf("host %d reports %d VMs, want %d", i, len(hr.VMs), cfg.VMsPerHost)
+		}
+		for j, vm := range hr.VMs {
+			if vm.Events == 0 || vm.Exits == 0 {
+				t.Fatalf("host %d vm %d is silent: %+v", i, j, vm)
+			}
+			if vm.Seed != hr.Seed+int64(j) {
+				t.Fatalf("host %d vm %d seed = %d, want unit seed %d + %d", i, j, vm.Seed, hr.Seed, j)
+			}
+		}
+	}
+	// Distinct unit seeds must yield distinct host histories.
+	if reflect.DeepEqual(serial.Hosts[0].VMs, serial.Hosts[1].VMs) {
+		t.Fatal("hosts 0 and 1 produced identical histories despite distinct seeds")
+	}
+}

@@ -65,9 +65,18 @@ type Config struct {
 	// Guest carries kernel configuration (profile, syscall mechanism,
 	// preemption, timeslice, seed). Mem and VCPUs fields are overwritten.
 	Guest guest.Config
-	// Telemetry, when set, instruments the machine: the EM registers its
-	// publish/queue/latency metrics and every VM Exit is counted by reason
-	// (hypertap_vm_exits_total). Registries may be shared across machines;
+	// EM, when set, attaches the machine to a shared host Event Multiplexer
+	// (the paper's Fig. 2 deployment: one EM per physical host serving many
+	// guest VMs). The machine registers its Name with the EM and stamps the
+	// returned VMID into every forwarded event; Name must therefore be
+	// unique per host. Nil keeps the pre-fleet behavior: the machine owns a
+	// private EM and attaches itself as VM 0.
+	EM *core.Multiplexer
+	// Telemetry, when set, instruments the machine: every VM Exit is
+	// counted by reason (hypertap_vm_exits_total) and, when the machine
+	// owns its EM, the EM registers its publish/queue/latency metrics too.
+	// With a shared EM the host is the EM's owner and enables its telemetry
+	// once for the whole fleet. Registries may be shared across machines;
 	// shared series aggregate.
 	Telemetry *telemetry.Registry
 }
@@ -104,6 +113,8 @@ type Machine struct {
 	vcpus  []*hav.VCPU
 	kernel *guest.Kernel
 	em     *core.Multiplexer
+	ownsEM bool
+	vmid   core.VMID
 	engine *intercept.Engine
 
 	seq    uint64
@@ -136,11 +147,22 @@ func New(cfg Config) (*Machine, error) {
 		mem:   mem,
 		ctrls: &hav.Controls{},
 		ept:   hav.NewEPT(mem.Pages()),
-		em:    core.NewMultiplexer(),
+		em:    cfg.EM,
 	}
+	if m.em == nil {
+		m.em = core.NewMultiplexer()
+		m.ownsEM = true
+	}
+	vmid, err := m.em.AttachVM(cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("hv: %w", err)
+	}
+	m.vmid = vmid
 	var handler hav.ExitHandler = hav.ExitHandlerFunc(m.handleExit)
 	if cfg.Telemetry != nil {
-		m.em.EnableTelemetry(cfg.Telemetry)
+		if m.ownsEM {
+			m.em.EnableTelemetry(cfg.Telemetry)
+		}
 		handler = hav.NewExitCounters(cfg.Telemetry).Wrap(handler)
 	}
 	for i := 0; i < cfg.VCPUs; i++ {
@@ -174,6 +196,7 @@ func (m *Machine) EnableMonitoring(feat intercept.Features) (*intercept.Engine, 
 	m.engine = intercept.New(intercept.Config{
 		Control:  m,
 		EM:       m.em,
+		VM:       m.vmid,
 		Now:      m.kernel.LocalNow,
 		Features: feat,
 	})
@@ -242,28 +265,45 @@ func (m *Machine) RunUntil(max time.Duration, cond func() bool) {
 	if !m.booted {
 		panic("hv: RunUntil before Boot")
 	}
-	tick := m.cfg.Tick
 	deadline := m.clock.Now() + max
 	for m.clock.Now() < deadline {
 		if cond != nil && cond() {
 			return
 		}
-		start := m.clock.Now()
-		if !m.paused {
-			for _, pkt := range m.pendingNet {
-				m.kernel.DeliverDevice(pkt.cpu, pkt.port, pkt.payload)
-			}
-			m.pendingNet = m.pendingNet[:0]
-			for cpu := range m.vcpus {
-				m.kernel.DeliverTimer(cpu, tick)
-			}
-			for cpu := range m.vcpus {
-				m.kernel.RunSlice(cpu, start, tick)
-			}
-		}
-		m.clock.Advance(tick)
+		m.stepTick()
 		m.em.Dispatch(0)
 	}
+}
+
+// StepTick advances the VM by exactly one tick without draining the EM —
+// the host fleet driver's entry point: it steps every machine of a round in
+// VM order and drains the shared EM once per round, so async delivery order
+// is a deterministic function of the round-robin schedule.
+func (m *Machine) StepTick() {
+	if !m.booted {
+		panic("hv: StepTick before Boot")
+	}
+	m.stepTick()
+}
+
+// stepTick runs one scheduler tick (device delivery, timers, vCPU slices)
+// and advances the virtual clock; async auditors are not drained here.
+func (m *Machine) stepTick() {
+	tick := m.cfg.Tick
+	start := m.clock.Now()
+	if !m.paused {
+		for _, pkt := range m.pendingNet {
+			m.kernel.DeliverDevice(pkt.cpu, pkt.port, pkt.payload)
+		}
+		m.pendingNet = m.pendingNet[:0]
+		for cpu := range m.vcpus {
+			m.kernel.DeliverTimer(cpu, tick)
+		}
+		for cpu := range m.vcpus {
+			m.kernel.RunSlice(cpu, start, tick)
+		}
+	}
+	m.clock.Advance(tick)
 }
 
 // InjectNetRequest queues an inbound network packet, delivered via a device
@@ -276,6 +316,9 @@ func (m *Machine) InjectNetRequest(port uint16, payload uint64) {
 
 // Name returns the VM name.
 func (m *Machine) Name() string { return m.name }
+
+// VMID returns the machine's identity on its (possibly host-shared) EM.
+func (m *Machine) VMID() core.VMID { return m.vmid }
 
 // Kernel returns the guest kernel (workload setup, ground-truth checks).
 func (m *Machine) Kernel() *guest.Kernel { return m.kernel }
