@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet
+.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet bench-trace
 
 all: build
 
@@ -63,6 +63,12 @@ bench-parallel:
 # end-to-end campaign wall-clock.
 bench-hotpath:
 	$(GO) run ./cmd/hotpath-bench -out results/BENCH_hotpath.json
+
+# Regenerate the tracing-plane overhead numbers (see results/BENCH_trace.json):
+# the 3-auditor publish path with the flight recorder detached vs armed,
+# measured as a median of paired rounds. Budget: ≤5% on the sync path.
+bench-trace:
+	$(GO) run ./cmd/hotpath-bench -trace-only -trace-out results/BENCH_trace.json
 
 # Regenerate the multi-VM scaling numbers (see results/BENCH_fleet.json):
 # events/sec through one host-shared EM at 1/2/4/8 attached VMs, sync and

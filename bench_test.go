@@ -282,6 +282,30 @@ func BenchmarkEventPublishAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkEventPublishTraced is BenchmarkEventPublish with the flight
+// recorder armed: every publish now also writes an exit record, which
+// doubles as the span's decode step. Against BenchmarkEventPublish the pair
+// bounds the capture overhead (budget: ≤5%, see results/BENCH_trace.json),
+// and the alloc report must stay at zero.
+func BenchmarkEventPublishTraced(b *testing.B) {
+	em := core.NewMultiplexer()
+	em.SetFlight(core.NewFlightTable(1, 0, 0))
+	for _, name := range []string{"a", "b", "c"} {
+		aud := &core.AuditorFunc{AuditorName: name, EventMask: core.MaskAll, Fn: func(*core.Event) {}}
+		if err := em.Register(aud, core.DeliverSync, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ev := &core.Event{Type: core.EvSyscall, SyscallNr: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i)
+		ev.Span = core.MintSpan(0, uint64(i+1), 0)
+		em.Publish(ev)
+	}
+}
+
 // BenchmarkEventDispatch measures the async drain path: publish a burst
 // into two ring buffers, then Dispatch it. The scratch-buffer reuse inside
 // Dispatch means the steady state allocates nothing per batch.

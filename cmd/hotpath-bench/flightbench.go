@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"hypertap/internal/core"
+)
+
+// The tracing-plane overhead section (results/BENCH_trace.json): the
+// 3-auditor publish path priced with the flight recorder detached vs armed.
+// When armed, every publish writes an exit record (which doubles as the
+// span's decode step), and every async drain writes a drain span — the full
+// capture cost of the tracing plane. The budget is ≤5% on the sync path and
+// zero allocs/op everywhere.
+
+type traceRun struct {
+	Mode         string  `json:"mode"`
+	Recorder     bool    `json:"recorder"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+type traceReport struct {
+	Description string   `json:"description"`
+	Host        hostInfo `json:"host"`
+	// Auditors is the fan-out the runs are priced against.
+	Auditors int `json:"auditors"`
+	// Depth is the per-VM exit-ring depth of the recorder-on runs.
+	Depth int        `json:"depth"`
+	Runs  []traceRun `json:"runs"`
+	// OverheadSyncPct / OverheadAsyncPct are the armed-recorder costs
+	// relative to the detached baseline per delivery mode. Budget: ≤5 on
+	// the sync path (the acceptance bar), async reported alongside.
+	OverheadSyncPct  float64 `json:"overhead_sync_pct"`
+	OverheadAsyncPct float64 `json:"overhead_async_pct"`
+	BudgetPct        float64 `json:"budget_pct"`
+}
+
+// traceEvents is the per-measurement event count: long enough that timer
+// resolution is irrelevant (tens of milliseconds per measurement), short
+// enough that the off/on halves of a round run close together in time.
+const traceEvents = 1 << 20
+
+// traceRounds is the paired-round count fed to the median.
+const traceRounds = 15
+
+// traceEM builds the 3-auditor multiplexer one overhead cell publishes into.
+func traceEM(auditors int, mode core.DeliveryMode, recorder bool) *core.Multiplexer {
+	em := core.NewMultiplexer()
+	if recorder {
+		em.SetFlight(core.NewFlightTable(1, 0, 0))
+	}
+	for i := 0; i < auditors; i++ {
+		aud := &core.AuditorFunc{
+			AuditorName: fmt.Sprintf("aud%d", i),
+			EventMask:   core.MaskAll,
+			Fn:          func(*core.Event) {},
+		}
+		if err := em.Register(aud, mode, 0); err != nil {
+			panic(err)
+		}
+	}
+	return em
+}
+
+// measurePublish times traceEvents publishes into em and returns ns/event.
+// Async runs drain with Dispatch periodically so the rings never saturate —
+// which on armed tables also exercises the drain-span capture.
+func measurePublish(em *core.Multiplexer, mode core.DeliveryMode) float64 {
+	const drainEvery = 1024
+	ev := &core.Event{Type: core.EvSyscall, SyscallNr: 4}
+	start := time.Now()
+	for i := 0; i < traceEvents; i++ {
+		ev.Seq = uint64(i)
+		ev.Span = core.MintSpan(0, uint64(i+1), 0)
+		em.Publish(ev)
+		if mode == core.DeliverAsync && i%drainEvery == drainEvery-1 {
+			em.Dispatch(0)
+		}
+	}
+	if mode == core.DeliverAsync {
+		em.Dispatch(0)
+	}
+	return float64(time.Since(start).Nanoseconds()) / traceEvents
+}
+
+// allocsPerOp reports the steady-state heap allocations one measurement pass
+// makes, per event. The hot path's contract is zero.
+func allocsPerOp(em *core.Multiplexer, mode core.DeliveryMode) int64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	measurePublish(em, mode)
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs-before.Mallocs) / traceEvents
+}
+
+// benchTracePublish prices the (recorder-off, recorder-on) pair for one
+// delivery mode on the publish path.
+//
+// The overhead being measured is a few nanoseconds per event — smaller than
+// the machine's run-to-run drift — so the cells are measured in short
+// paired rounds, off then on back-to-back, and the overhead is the median
+// paired delta: drift shared by a round cancels inside its pair, and the
+// median discards the outlier rounds a noisy host produces in either
+// direction. Reported ns/event figures are per-cell medians.
+func benchTracePublish(auditors int, mode core.DeliveryMode) (off, on traceRun, overheadPct float64) {
+	emOff := traceEM(auditors, mode, false)
+	emOn := traceEM(auditors, mode, true)
+	// Warmup pass per cell: faults the rings in and doubles as the alloc
+	// check, which must come out at zero on both sides.
+	offAllocs := allocsPerOp(emOff, mode)
+	onAllocs := allocsPerOp(emOn, mode)
+
+	offNs := make([]float64, traceRounds)
+	onNs := make([]float64, traceRounds)
+	pcts := make([]float64, traceRounds)
+	for i := 0; i < traceRounds; i++ {
+		offNs[i] = measurePublish(emOff, mode)
+		onNs[i] = measurePublish(emOn, mode)
+		pcts[i] = (onNs[i] - offNs[i]) / offNs[i] * 100
+	}
+	cell := func(recorder bool, ns float64, allocs int64) traceRun {
+		return traceRun{
+			Mode:         mode.String(),
+			Recorder:     recorder,
+			NsPerEvent:   ns,
+			EventsPerSec: 1e9 / ns,
+			AllocsPerOp:  allocs,
+		}
+	}
+	return cell(false, median(offNs), offAllocs),
+		cell(true, median(onNs), onAllocs),
+		median(pcts)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// runTraceBench writes the tracing-overhead report to out (default stdout).
+func runTraceBench(out string) error {
+	const auditors = 3
+	rep := traceReport{
+		Description: "Flight-recorder overhead on the 3-auditor publish path, detached vs armed. Median of paired rounds. Regenerate with `make bench-trace`.",
+		Host:        currentHostInfo(),
+		Auditors:    auditors,
+		Depth:       core.DefaultFlightDepth,
+		BudgetPct:   5,
+	}
+	for _, mode := range []core.DeliveryMode{core.DeliverSync, core.DeliverAsync} {
+		off, on, pct := benchTracePublish(auditors, mode)
+		rep.Runs = append(rep.Runs, off, on)
+		for _, r := range []traceRun{off, on} {
+			state := "recorder-off"
+			if r.Recorder {
+				state = "recorder-on"
+			}
+			fmt.Fprintf(os.Stderr, "publish  %-5s %-12s  %8.1f ns/event  %12.0f events/s  %d allocs/op\n",
+				r.Mode, state, r.NsPerEvent, r.EventsPerSec, r.AllocsPerOp)
+		}
+		if mode == core.DeliverSync {
+			rep.OverheadSyncPct = pct
+		} else {
+			rep.OverheadAsyncPct = pct
+		}
+	}
+	fmt.Fprintf(os.Stderr, "capture overhead: sync %.2f%%, async %.2f%% (budget %.0f%%)\n",
+		rep.OverheadSyncPct, rep.OverheadAsyncPct, rep.BudgetPct)
+
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -17,6 +17,9 @@
 //   - fleet (written separately to -fleet-out): events/sec through a
 //     host-shared EM at 1/2/4/8 attached VMs with one VM-scoped auditor
 //     each, sync and async — the scaling claim of the per-host fleet plane.
+//   - trace (written separately to -trace-out): the flight recorder's
+//     capture overhead on the 3-sync-auditor publish path, off vs on vs
+//     on-with-spans — the ≤5% budget of the tracing plane.
 //
 // -cpuprofile/-memprofile wrap the whole run in a pprof capture so the next
 // perf PR starts from a profile instead of a guess. -baseline embeds a
@@ -103,6 +106,8 @@ func run() error {
 		vms        = flag.String("vms", "1,2,4,8", "comma-separated VM counts for the fleet scaling section")
 		fleetOut   = flag.String("fleet-out", "", "write the fleet scaling report here (default stdout)")
 		fleetOnly  = flag.Bool("fleet-only", false, "run only the fleet scaling section")
+		traceOut   = flag.String("trace-out", "", "write the tracing-plane overhead report here (default stdout)")
+		traceOnly  = flag.Bool("trace-only", false, "run only the tracing-plane overhead section")
 	)
 	flag.Parse()
 	if counts, err := parseVMCounts(*vms); err != nil {
@@ -112,6 +117,9 @@ func run() error {
 	}
 	if *fleetOnly {
 		return runFleetBench(*fleetOut)
+	}
+	if *traceOnly {
+		return runTraceBench(*traceOut)
 	}
 
 	if *cpuprofile != "" {

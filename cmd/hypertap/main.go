@@ -18,6 +18,7 @@ import (
 	"hypertap/internal/auditors/ped"
 	"hypertap/internal/core"
 	"hypertap/internal/core/intercept"
+	"hypertap/internal/flight"
 	"hypertap/internal/guest"
 	"hypertap/internal/host"
 	"hypertap/internal/telemetry"
@@ -28,25 +29,32 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "hypertap:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is main's body, split out with its own FlagSet so the smoke test can
+// drive the binary in-process with any argument vector.
+func run(args []string) error {
+	fs := flag.NewFlagSet("hypertap", flag.ContinueOnError)
 	var (
-		duration  = flag.Duration("duration", 10*time.Second, "virtual time to run")
-		vms       = flag.Int("vms", 1, "guest VMs sharing the host's Event Multiplexer")
-		vcpus     = flag.Int("vcpus", 2, "virtual CPUs per VM")
-		sysenter  = flag.Bool("sysenter", false, "use the fast-syscall gate instead of INT 0x80")
-		tailEvent = flag.Int("tail", 20, "print the first N decoded events per type")
-		withRHC   = flag.Bool("rhc", false, "start a Remote Health Checker and heartbeat to it over TCP")
-		traceFile = flag.String("trace", "", "record the event stream to a JSONL trace file")
-		telAddr   = flag.String("telemetry-addr", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
-		seed      = flag.Int64("seed", 1, "deterministic seed (VM i runs at seed+i)")
+		duration  = fs.Duration("duration", 10*time.Second, "virtual time to run")
+		vms       = fs.Int("vms", 1, "guest VMs sharing the host's Event Multiplexer")
+		vcpus     = fs.Int("vcpus", 2, "virtual CPUs per VM")
+		sysenter  = fs.Bool("sysenter", false, "use the fast-syscall gate instead of INT 0x80")
+		tailEvent = fs.Int("tail", 20, "print the first N decoded events per type")
+		withRHC   = fs.Bool("rhc", false, "start a Remote Health Checker and heartbeat to it over TCP")
+		traceFile = fs.String("trace", "", "record the event stream to a JSONL trace file")
+		telAddr   = fs.String("telemetry-addr", "", "serve /metrics, /healthz, /flight and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		seed      = fs.Int64("seed", 1, "deterministic seed (VM i runs at seed+i)")
+		flightDir = fs.String("flight-dir", "", "drain the flight recorder into a bundle under this directory at exit")
+		flightDep = fs.Int("flight-depth", 0, "per-VM flight-recorder ring depth, rounded up to a power of two (0 = 1024; negative disables tracing)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *vms < 1 {
 		return fmt.Errorf("-vms must be at least 1, got %d", *vms)
 	}
@@ -71,7 +79,10 @@ func run() error {
 			Monitor: true, Features: feat,
 		}
 	}
-	h, err := host.New(host.Config{Name: "host0", Telemetry: reg, VMs: specs})
+	if *flightDir != "" && *flightDep < 0 {
+		return fmt.Errorf("-flight-dir needs the recorder, but -flight-depth=%d disables it", *flightDep)
+	}
+	h, err := host.New(host.Config{Name: "host0", Telemetry: reg, VMs: specs, FlightDepth: *flightDep})
 	if err != nil {
 		return err
 	}
@@ -181,11 +192,13 @@ func run() error {
 
 	// Optional RHC over real TCP: one connection carries the whole fleet.
 	var health httpexport.Health
+	var rhcSrv *core.RHCServer
 	if *withRHC {
 		srv, err := core.NewRHCServer("127.0.0.1:0", 500*time.Millisecond)
 		if err != nil {
 			return err
 		}
+		rhcSrv = srv
 		defer func() { _ = srv.Close() }()
 		if reg != nil {
 			srv.EnableTelemetry(reg)
@@ -203,10 +216,13 @@ func run() error {
 		}()
 	}
 
-	// Live observability endpoint: Prometheus-text /metrics plus an RHC-backed
-	// /healthz (degraded when heartbeats stall; always healthy without -rhc).
+	// Live observability endpoint: Prometheus-text /metrics, an RHC-backed
+	// /healthz (degraded when heartbeats stall; always healthy without -rhc),
+	// the /flight debug drain, and the Go profiler under /debug/pprof/.
 	if *telAddr != "" {
-		tsrv, err := httpexport.Serve(*telAddr, reg, health)
+		tsrv, err := httpexport.ServeOptions(*telAddr, httpexport.Options{
+			Registry: reg, Health: health, EM: em, Pprof: true,
+		})
 		if err != nil {
 			return err
 		}
@@ -233,6 +249,34 @@ func run() error {
 
 	fmt.Printf("\ndone: %v virtual in %v real (%.0fx)\n", *duration, real.Round(time.Millisecond),
 		duration.Seconds()/real.Seconds())
+
+	// Quiesce the RHC before the final drain: heartbeats travel over real
+	// TCP, so the last beats sent during the run may still be in flight when
+	// the run loop returns. Waiting for each VM's beat keeps the shutdown
+	// bundle's rhc.json a faithful end-of-run view instead of a race.
+	if rhcSrv != nil {
+		for i := 0; i < *vms; i++ {
+			if name, ok := em.VMName(core.VMID(i)); ok {
+				rhcSrv.WaitHeartbeat(name, time.Second)
+			}
+		}
+	}
+	// Final flight drain: the same bundle format incident capture uses, so
+	// every run can be inspected with trace-analyze -chrome-trace.
+	if *flightDir != "" {
+		sink, err := flight.NewSink(flight.SinkConfig{
+			Dir: *flightDir, EM: em, Telemetry: reg, RHC: rhcSrv,
+			Context: map[string]string{"seed": fmt.Sprint(*seed)},
+		})
+		if err != nil {
+			return err
+		}
+		dir, err := sink.Raise("shutdown", 0, *duration, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("flight bundle written to", dir)
+	}
 	for i := 0; i < *vms; i++ {
 		m := h.Machine(i)
 		st := m.Kernel().Stats()

@@ -2,18 +2,25 @@
 // event trace (cmd/hypertap -trace): a summary of the captured activity,
 // plus an offline GOSHD pass that finds guest hangs after the fact —
 // event-trace forensics in the Ether tradition the paper builds on.
+//
+// With -chrome-trace it converts the input to the Chrome trace-event format
+// for ui.perfetto.dev; the input may also be an incident-bundle directory
+// (internal/flight), in which case the flight rings and causal spans are
+// rendered instead of a JSONL stream.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
 	"hypertap/internal/auditors/goshd"
 	"hypertap/internal/core"
+	"hypertap/internal/flight"
 	"hypertap/internal/guest"
 	"hypertap/internal/telemetry"
 	"hypertap/internal/trace"
@@ -37,6 +44,26 @@ func writeMetrics(dst string, reg *telemetry.Registry) error {
 	return enc.Encode(&snap)
 }
 
+// writeChrome writes one Chrome trace-event rendering to dst (- for stdout).
+func writeChrome(dst string, fill func(io.Writer) error) error {
+	w := io.Writer(os.Stdout)
+	if dst != "-" {
+		f, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if err := fill(w); err != nil {
+		return err
+	}
+	if dst != "-" {
+		fmt.Println("chrome trace written to", dst, "(open at https://ui.perfetto.dev)")
+	}
+	return nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "trace-analyze:", err)
@@ -49,12 +76,32 @@ func run() error {
 		vcpus     = flag.Int("vcpus", 2, "vCPU count of the traced VM")
 		threshold = flag.Duration("threshold", 4*time.Second, "offline GOSHD threshold")
 		metricsTo = flag.String("metrics", "", "write a telemetry snapshot of the replay as JSON to this file (- for stdout)")
+		chromeTo  = flag.String("chrome-trace", "", "write a Chrome trace-event JSON rendering (Perfetto-viewable) to this file (- for stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: trace-analyze [flags] <trace.jsonl>")
+		return fmt.Errorf("usage: trace-analyze [flags] <trace.jsonl | incident-bundle-dir>")
 	}
 	path := flag.Arg(0)
+
+	// An incident bundle is a directory; everything useful in it is already
+	// decoded, so the only analysis offered is the Chrome export.
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		if *chromeTo == "" {
+			return fmt.Errorf("%s is an incident bundle; use -chrome-trace to export it", path)
+		}
+		b, err := flight.LoadBundle(path)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for _, exits := range b.Exits {
+			n += len(exits)
+		}
+		fmt.Printf("bundle %s: kind %s, %d exit records across %d rings, %d spans\n",
+			path, b.Meta.Kind, n, len(b.Exits), len(b.Spans))
+		return writeChrome(*chromeTo, func(w io.Writer) error { return flight.WriteChrome(w, b) })
+	}
 
 	f, err := os.Open(path)
 	if err != nil {
@@ -95,6 +142,21 @@ func run() error {
 		}
 	}
 	fmt.Printf("\ndistinct address spaces observed: %d\n", len(summary.AddrSet))
+
+	if *chromeTo != "" {
+		if _, err := f.Seek(0, 0); err != nil {
+			return err
+		}
+		events, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		if err := writeChrome(*chromeTo, func(w io.Writer) error {
+			return flight.ChromeFromEvents(w, events, nil)
+		}); err != nil {
+			return err
+		}
+	}
 
 	// Offline hang detection.
 	if _, err := f.Seek(0, 0); err != nil {

@@ -133,22 +133,29 @@ func knownNames(known map[string]bool) string {
 	return strings.Join(names, ", ")
 }
 
+// hotpathMarked reports whether a function declaration carries a
+// //hypertap:hotpath line in its doc comment.
+func hotpathMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+directivePrefix+"hotpath")
+		if ok && (rest == "" || rest[0] == ' ') {
+			return true
+		}
+	}
+	return false
+}
+
 // hotpathFuncs returns the function declarations in pkg marked with a
 // //hypertap:hotpath line in their doc comment.
 func hotpathFuncs(pkg *Package) []*ast.FuncDecl {
 	var out []*ast.FuncDecl
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			for _, c := range fd.Doc.List {
-				rest, ok := strings.CutPrefix(c.Text, "//"+directivePrefix+"hotpath")
-				if ok && (rest == "" || rest[0] == ' ') {
-					out = append(out, fd)
-					break
-				}
+			if fd, ok := decl.(*ast.FuncDecl); ok && hotpathMarked(fd) {
+				out = append(out, fd)
 			}
 		}
 	}

@@ -86,6 +86,9 @@ func TestGolden(t *testing.T) {
 		// the fleet refactor's VM-indexed publish path: the clean function
 		// must stay finding-free; the map-routing variant must not.
 		{"hotpath_vmroute", "hypertap/internal/core"},
+		// hotpath_trace only fires in the flight-plane packages: recording
+		// functions must be hotpath-marked or carry a reasoned allow.
+		{"hotpath_trace", "hypertap/internal/flight"},
 		// multi-file package: allow-file in a.go must not cover b.go.
 		{"multifile", "hypertap/internal/gmem"},
 	}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// flightPlanePkgs are the packages whose Record*/record* functions write the
+// flight recorder. The recorder's promise is that tracing is cheap enough to
+// stay on during benchmarks, which only holds if every recording function
+// submits to the hotpath pass's no-lock/no-alloc discipline.
+var flightPlanePkgs = []string{
+	"hypertap/internal/core",
+	"hypertap/internal/flight",
+}
+
+// HotpathTrace pins the tracing plane's write half to the hot path: in the
+// flight-plane packages, a function named Record*/record* runs per VM exit,
+// per published event, or per span, so it must carry //hypertap:hotpath —
+// otherwise a new recording function silently escapes the discipline that
+// keeps the recorder's publish overhead inside its ≤5% budget.
+type HotpathTrace struct{}
+
+// Name implements Pass.
+func (HotpathTrace) Name() string { return "hotpath_trace" }
+
+// Doc implements Pass.
+func (HotpathTrace) Doc() string {
+	return "The flight recorder stays enabled during benchmarks, so every recording " +
+		"function (Record*/record* in internal/core and internal/flight) must be marked " +
+		"//hypertap:hotpath and pass the hotpath checks. Genuinely cold recording helpers " +
+		"carry //hypertap:allow hotpath_trace <reason>."
+}
+
+// Check implements Pass.
+func (h HotpathTrace) Check(pkg *Package) []Finding {
+	if !pathMatches(pkg.ImportPath, flightPlanePkgs) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := fd.Name.Name
+			if !strings.HasPrefix(name, "Record") && !strings.HasPrefix(name, "record") {
+				continue
+			}
+			if hotpathMarked(fd) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(fd.Name.Pos()),
+				Pass: h.Name(),
+				Msg: "recording func " + name + " in the flight plane lacks //hypertap:hotpath " +
+					"(trace capture runs per event; mark it, or //hypertap:allow hotpath_trace <reason> if cold)",
+			})
+		}
+	}
+	return out
+}

@@ -7,5 +7,6 @@ func AllPasses() []Pass {
 		SeededRand{},
 		EventsOnly{},
 		Hotpath{},
+		HotpathTrace{},
 	}
 }

@@ -1,0 +1,33 @@
+// Package fixture exercises the hotpath_trace pass: in a flight-plane
+// package, every Record*/record* function must carry the hotpath marker so
+// the hotpath pass audits its body. A marked function is clean, an unmarked
+// one is a finding, and a cold helper can escape with a reasoned allow.
+package fixture
+
+type ring struct {
+	slots []uint64
+}
+
+// RecordSpan is marked: no finding, and the hotpath pass now audits it.
+//
+//hypertap:hotpath
+func (r *ring) RecordSpan(v uint64) {
+	r.slots[0] = v
+}
+
+// recordExit forgot its marker: finding.
+func (r *ring) recordExit(v uint64) {
+	r.slots[1] = v
+}
+
+// RecordSnapshot is legitimately cold (debug drains only) and says so.
+//
+//hypertap:allow hotpath_trace debug drain runs off the schedule, never per event
+func (r *ring) RecordSnapshot(v uint64) {
+	r.slots[2] = v
+}
+
+// drain is not a recording function: ignored.
+func (r *ring) drain() {
+	r.slots[0] = 0
+}

@@ -42,6 +42,8 @@ var deterministicPkgs = []string{
 	"hypertap/internal/telemetry",
 	"hypertap/internal/experiment/...",
 	"hypertap/internal/auditors/...",
+	"hypertap/internal/trace",
+	"hypertap/internal/flight",
 }
 
 // pathMatches reports whether importPath is covered by one of the entries.

@@ -35,6 +35,9 @@ type Storm struct {
 	FleetMean float64
 	// WindowStart is the virtual time the offending window began.
 	WindowStart time.Duration
+	// Span is the causal span of the event whose arrival closed the window
+	// and triggered the evaluation — the verdict's flight-recorder anchor.
+	Span core.SpanID
 }
 
 func (s Storm) String() string {
@@ -138,7 +141,7 @@ func (a *Accountant) HandleEvent(ev *core.Event) {
 	}
 	var fired []Storm
 	if ev.Time >= a.windowStart+a.cfg.Window {
-		fired = a.closeWindowLocked(ev.Time)
+		fired = a.closeWindowLocked(ev.Time, ev.Span)
 	}
 	a.window[vm]++
 	a.totals[vm]++
@@ -180,8 +183,9 @@ func (a *Accountant) perVMCounterLocked(vm core.VMID) *telemetry.Counter {
 
 // closeWindowLocked evaluates the finished window for storms, opens the
 // window containing now, and returns the storms it raised so the caller can
-// run OnStorm outside the lock. Caller holds a.mu.
-func (a *Accountant) closeWindowLocked(now time.Duration) []Storm {
+// run OnStorm outside the lock. span identifies the window-closing event.
+// Caller holds a.mu.
+func (a *Accountant) closeWindowLocked(now time.Duration, span core.SpanID) []Storm {
 	var fired []Storm
 	var windowTotal, active uint64
 	for _, n := range a.window {
@@ -201,7 +205,7 @@ func (a *Accountant) closeWindowLocked(now time.Duration) []Storm {
 		if float64(n) <= a.cfg.Factor*othersMean {
 			continue
 		}
-		storm := Storm{VM: core.VMID(vm), Count: n, FleetMean: othersMean, WindowStart: a.windowStart}
+		storm := Storm{VM: core.VMID(vm), Count: n, FleetMean: othersMean, WindowStart: a.windowStart, Span: span}
 		if a.cfg.VMName != nil {
 			if name, ok := a.cfg.VMName(storm.VM); ok {
 				storm.VMName = name

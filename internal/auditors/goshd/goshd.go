@@ -37,6 +37,9 @@ type HangAlarm struct {
 	At time.Duration
 	// LastSwitch is the virtual time of the last observed context switch.
 	LastSwitch time.Duration
+	// Span is the causal span of the last observed switch — the verdict's
+	// anchor in the flight recorder (zero when no switch was ever seen).
+	Span core.SpanID
 }
 
 func (a HangAlarm) String() string {
@@ -67,6 +70,7 @@ type Detector struct {
 
 	mu         sync.Mutex
 	lastSwitch []time.Duration
+	lastSpan   []core.SpanID
 	timers     []*vclock.Timer
 	alarms     []HangAlarm
 	hung       []bool
@@ -109,6 +113,7 @@ func New(cfg Config) (*Detector, error) {
 	return &Detector{
 		cfg:        cfg,
 		lastSwitch: make([]time.Duration, cfg.VCPUs),
+		lastSpan:   make([]core.SpanID, cfg.VCPUs),
 		timers:     make([]*vclock.Timer, cfg.VCPUs),
 		hung:       make([]bool, cfg.VCPUs),
 	}, nil
@@ -164,6 +169,7 @@ func (d *Detector) HandleEvent(ev *core.Event) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.lastSwitch[ev.VCPU] = ev.Time
+	d.lastSpan[ev.VCPU] = ev.Span
 	if d.hung[ev.VCPU] {
 		// A hung vCPU resumed (e.g., lock released): clear the condition.
 		d.hung[ev.VCPU] = false
@@ -187,7 +193,7 @@ func (d *Detector) onSilence(vcpu int, now time.Duration) {
 		return
 	}
 	d.hung[vcpu] = true
-	alarm := HangAlarm{VCPU: vcpu, At: now, LastSwitch: d.lastSwitch[vcpu]}
+	alarm := HangAlarm{VCPU: vcpu, At: now, LastSwitch: d.lastSwitch[vcpu], Span: d.lastSpan[vcpu]}
 	d.alarms = append(d.alarms, alarm)
 	onHang := d.cfg.OnHang
 	// Keep watching: if the vCPU resumes, HandleEvent clears hung and

@@ -51,6 +51,8 @@ type SeenThread struct {
 	Switches uint64
 	// KernelThread marks tasks flagged as kthreads in their task_struct.
 	KernelThread bool
+	// Span is the causal span of the last thread switch that ran this task.
+	Span core.SpanID
 }
 
 // Finding is one detected hidden task.
@@ -59,6 +61,9 @@ type Finding struct {
 	Comm   string
 	Reason string
 	At     time.Duration
+	// Span is the causal span of the hidden task's last observed switch —
+	// the verdict's flight-recorder anchor.
+	Span core.SpanID
 }
 
 func (f Finding) String() string {
@@ -190,6 +195,7 @@ func (d *Detector) HandleEvent(ev *core.Event) {
 		d.seen[ev.RSP0] = st
 	}
 	st.LastSeen = ev.Time
+	st.Span = ev.Span
 	st.Switches++
 }
 
@@ -256,6 +262,7 @@ func (d *Detector) CrossCheckAgainst(view []guest.ProcEntry) *CrossViewReport {
 			Comm:   st.Comm,
 			Reason: "runs on CPU but absent from task list",
 			At:     now,
+			Span:   st.Span,
 		})
 	}
 	sort.Slice(report.Hidden, func(i, j int) bool { return report.Hidden[i].PID < report.Hidden[j].PID })

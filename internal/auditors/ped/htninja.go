@@ -186,7 +186,7 @@ func (n *HTNinja) evalRSP0(ev *core.Event, rsp0 arch.GVA, trigger string) bool {
 	}
 	d := Detection{
 		PID: entry.PID, Comm: entry.Comm, At: ev.Time,
-		By: "ht-ninja", Trigger: trigger,
+		By: "ht-ninja", Trigger: trigger, Span: ev.Span,
 	}
 	n.mu.Lock()
 	if n.flagged[entry.PID] {

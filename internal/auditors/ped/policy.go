@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"hypertap/internal/core"
 	"hypertap/internal/guest"
 )
 
@@ -89,6 +90,9 @@ type Detection struct {
 	// Trigger describes what prompted the check (scan, first-switch,
 	// io-syscall).
 	Trigger string
+	// Span is the causal span of the triggering event — zero for the passive
+	// detectors (o-ninja, h-ninja), whose scans are not event-driven.
+	Span core.SpanID
 }
 
 func (d Detection) String() string {

@@ -70,6 +70,12 @@ type subscription struct {
 	head  int
 	count int
 
+	// actor is the auditor's stable flight-recorder identity (see
+	// actorLocked); actorBit is 1<<actor, precomputed so the hot path ORs a
+	// register instead of shifting.
+	actor    uint8
+	actorBit uint64
+
 	delivered uint64
 	queued    uint64
 	dropped   uint64
@@ -117,6 +123,15 @@ type Multiplexer struct {
 	// scratch is the reusable Dispatch batch buffer; a draining goroutine
 	// detaches it under the lock so concurrent Dispatch calls never share.
 	scratch []dispatchItem
+	// fl is the attached flight recorder; nil keeps the tracing plane off
+	// and Publish pays one predicted-taken branch.
+	fl *FlightTable
+	// actorNames maps actor IDs (flight-record bitmask positions) to auditor
+	// names; index 0 is the EM itself, actorOverflow the shared tail bucket.
+	// actorIDs is the reverse map. IDs are sticky: re-registering a name
+	// reuses its ID, so flight records stay comparable across rebuilds.
+	actorNames []string
+	actorIDs   map[string]uint8
 }
 
 // emTelemetry is the Multiplexer's instrument set. The published total has
@@ -234,6 +249,8 @@ func (m *Multiplexer) RegisterScoped(a Auditor, scope VMScope, mode DeliveryMode
 		}
 	}
 	sub := &subscription{auditor: a, mode: mode, mask: a.Mask(), scope: scope}
+	sub.actor = m.actorLocked(a.Name())
+	sub.actorBit = 1 << sub.actor
 	if mode == DeliverAsync {
 		sub.ring = make([]Event, queueCap)
 	}
@@ -264,6 +281,142 @@ func (m *Multiplexer) Unregister(a Auditor) bool {
 		}
 	}
 	return false
+}
+
+// actorOverflow is the shared actor ID handed out once the 62 dedicated IDs
+// (1..62) are taken; its flight-record bit means "one of the tail auditors".
+const actorOverflow = 63
+
+// actorLocked resolves an auditor name to its stable actor ID, assigning the
+// next free one on first sight. Caller holds the EM lock.
+func (m *Multiplexer) actorLocked(name string) uint8 {
+	if m.actorIDs == nil {
+		m.actorIDs = make(map[string]uint8)
+		m.actorNames = append(m.actorNames, "em")
+	}
+	if id, ok := m.actorIDs[name]; ok {
+		return id
+	}
+	id := uint8(len(m.actorNames))
+	if id >= actorOverflow {
+		id = actorOverflow
+		if len(m.actorNames) == actorOverflow {
+			m.actorNames = append(m.actorNames, "overflow")
+		}
+	} else {
+		m.actorNames = append(m.actorNames, name)
+	}
+	m.actorIDs[name] = id
+	return id
+}
+
+// ActorNames returns the actor-ID → auditor-name table backing the flight
+// records' bitmasks. Index 0 is the EM/system actor; the final slot, when
+// present, is the shared overflow bucket.
+func (m *Multiplexer) ActorNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.actorNames) == 0 {
+		return []string{"em"}
+	}
+	out := make([]string, len(m.actorNames))
+	copy(out, m.actorNames)
+	return out
+}
+
+// ActorID resolves an auditor name to its actor ID.
+func (m *Multiplexer) ActorID(name string) (uint8, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.actorIDs[name]
+	return id, ok
+}
+
+// SetFlight attaches (or, with nil, detaches) a flight recorder. Like
+// SetSampler it is safe at any time: Publish and Dispatch snapshot the table
+// under the EM lock.
+func (m *Multiplexer) SetFlight(fl *FlightTable) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fl = fl
+}
+
+// Flight returns the attached flight recorder, nil when tracing is off.
+func (m *Multiplexer) Flight() *FlightTable {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fl
+}
+
+// FlightExits snapshots VM vm's flight ring oldest-first (events stamped with
+// an unattached VMID land in the shared overflow ring; see FlightOverflow).
+// Taking the EM lock is what makes the copy sound: the rings' only writer
+// runs under it. The records' Sync masks are derived here from the routing
+// table — exactly the lookup Publish used at delivery time — instead of
+// being stored per event.
+func (m *Multiplexer) FlightExits(vm VMID) []FlightExit {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fl == nil {
+		return nil
+	}
+	return m.fl.exitsOf(m.fl.ringIndex(vm), m.syncBitsLocked)
+}
+
+// FlightOverflow snapshots the overflow ring (VMIDs beyond the preallocated
+// range) oldest-first.
+func (m *Multiplexer) FlightOverflow() []FlightExit {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fl == nil {
+		return nil
+	}
+	return m.fl.exitsOf(len(m.fl.rings)-1, m.syncBitsLocked)
+}
+
+// syncBitsLocked resolves the synchronous-delivery actor mask for a recorded
+// (VM, event type) pair — the same routing-table load Publish performs, so a
+// snapshot reconstructs each record's sync fan-out without the hot path ever
+// storing it. Callers hold the EM lock.
+func (m *Multiplexer) syncBitsLocked(vm VMID, et EventType) uint64 {
+	vt := &m.routes.overflow
+	if int(vm) < len(m.routes.perVM) {
+		vt = &m.routes.perVM[vm]
+	}
+	return vt.syncBits[routeIndex(et)]
+}
+
+// RecordSpan appends one step to the span ring under the EM lock — the
+// entry point for the cold phases (verdicts, incident capture, tests) whose
+// callers do not already hold it. No-op when tracing is off.
+//
+//hypertap:allow hotpath_trace cold span steps (verdict/incident) serialize through the EM lock; the hot phases are recorded inline by Publish and Dispatch
+func (m *Multiplexer) RecordSpan(span SpanID, vm VMID, phase FlightPhase, actor uint8, at time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fl.RecordSpan(span, vm, phase, actor, at)
+}
+
+// FlightSpans snapshots the span ring oldest-first. As with FlightExits, the
+// EM lock is what makes the copy sound against the single writer.
+func (m *Multiplexer) FlightSpans() []SpanRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fl == nil {
+		return nil
+	}
+	return m.fl.Spans()
+}
+
+// FlightRecorded returns the total exits ever recorded for VM vm (not capped
+// by ring depth).
+func (m *Multiplexer) FlightRecorded(vm VMID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fl == nil {
+		return 0
+	}
+	return m.fl.writtenOf(m.fl.ringIndex(vm))
 }
 
 // SetSampler installs the RHC feed: fn receives every n-th published event.
@@ -299,6 +452,10 @@ func (m *Multiplexer) Publish(ev *Event) {
 		m.mu.Unlock()
 		sampler(&evCopy)
 		m.mu.Lock() //hypertap:allow hotpath re-entry after the RHC sampler ran unlocked; taken once per sampleEvery events
+		// The sampled event is the RHC heartbeat feed: record the span step
+		// on re-entry, with the lock the span ring's single-writer contract
+		// requires.
+		m.fl.RecordSpan(evCopy.Span, evCopy.VM, PhaseHeartbeat, 0, evCopy.Time)
 	}
 	// Indexed routing on (VMID, event type): the table slices are immutable
 	// once installed, so the sync slot doubles as the outside-the-lock
@@ -311,9 +468,11 @@ func (m *Multiplexer) Publish(ev *Event) {
 	}
 	syncSubs := vt.sync[slot]
 	queuedAny := false
+	var queuedBits, droppedBits uint64
 	for _, s := range vt.async[slot] {
 		if s.count == len(s.ring) {
 			s.dropped++
+			droppedBits |= s.actorBit
 			if tel != nil {
 				tel.dropped.Inc()
 			}
@@ -323,6 +482,7 @@ func (m *Multiplexer) Publish(ev *Event) {
 		s.count++
 		s.queued++
 		m.asyncDepth++
+		queuedBits |= s.actorBit
 		queuedAny = true
 	}
 	// The depth gauges only move when something was queued; the published
@@ -332,6 +492,17 @@ func (m *Multiplexer) Publish(ev *Event) {
 		depth := float64(m.asyncDepth)
 		tel.depth.Set(depth)
 		tel.highWater.SetMax(depth)
+	}
+	// Flight recording stores only the dynamic per-event facts (the two
+	// async bitmask ORs above plus span/time/digest/meta); the synchronous
+	// fan-out is a routing-table function of (VM, type) and is derived at
+	// snapshot time (syncBitsLocked), so the recorder never walks
+	// subscribers and never stores what the table already knows. The record
+	// doubles as the span's decode step — this is where the forwarder's
+	// minted identity enters the pipeline. The write stays outlined: the
+	// call is cheaper than the register pressure its body adds to Publish.
+	if fl := m.fl; fl != nil {
+		fl.recordExit(ev, queuedBits, droppedBits)
 	}
 	m.mu.Unlock()
 
@@ -392,6 +563,7 @@ func (m *Multiplexer) Dispatch(max int) int {
 		}
 		batch = batch[:0]
 		tel := m.tel
+		fl := m.fl
 		n := len(m.subs)
 		start := 0
 		if n > 0 {
@@ -409,6 +581,13 @@ func (m *Multiplexer) Dispatch(max int) int {
 			}
 			for j := 0; j < k; j++ {
 				batch = append(batch, dispatchItem{s: s, ev: s.ring[s.head]})
+				// The drain span step is recorded at claim time, under the
+				// lock the span ring requires; the event's own virtual
+				// timestamp is the step's time either way.
+				if fl != nil {
+					ev := &s.ring[s.head]
+					fl.RecordSpan(ev.Span, ev.VM, PhaseDrain, s.actor, ev.Time)
+				}
 				s.head = (s.head + 1) % len(s.ring)
 				s.count--
 				s.delivered++

@@ -126,6 +126,10 @@ type Event struct {
 	VCPU int
 	// Seq is the per-VM exit sequence number of the underlying exit.
 	Seq uint64
+	// Span is the causal tracing identity minted by the Event Forwarder at
+	// decode time (see flight.go); zero for events published outside a
+	// forwarder, which the tracing plane treats as untraced.
+	Span SpanID
 	// Time is the virtual timestamp.
 	Time time.Duration
 	// Regs is the architectural register file at exit time.

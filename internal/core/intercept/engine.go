@@ -191,6 +191,8 @@ func (e *Engine) HandleExit(exit *hav.Exit) {
 	copy(out, e.batch)
 	e.mu.Unlock()
 
+	// Publish records each event's flight exit record — the span's decode
+	// step — under the lock the rings' single-writer contract requires.
 	for i := range out {
 		e.em.Publish(&out[i])
 	}
@@ -337,6 +339,7 @@ func (e *Engine) publishLocked(exit *hav.Exit, t core.EventType, fill func(*core
 		VM:         e.vm,
 		VCPU:       exit.VCPU,
 		Seq:        exit.Sequence,
+		Span:       core.MintSpan(e.vm, exit.Sequence, uint8(len(e.batch))),
 		Time:       e.now(exit.VCPU),
 		Regs:       exit.Guest,
 		ExitReason: exit.Reason,

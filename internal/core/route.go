@@ -28,6 +28,10 @@ const (
 type vmRoutes struct {
 	sync  [routeSlots][]*subscription
 	async [routeSlots][]*subscription
+	// syncBits is the OR of the sync list's actor bits per slot — the flight
+	// recorder's precomputed sync-delivery mask, so recording an exit's full
+	// synchronous fan-out is one array load instead of a per-subscriber walk.
+	syncBits [routeSlots]uint64
 }
 
 // routeTable is the full host routing table: one vmRoutes per attached VM
@@ -74,6 +78,7 @@ func (rt *routeTable) rebuild(subs []*subscription, numVM int) {
 func (vr *vmRoutes) fill(subs []*subscription, vm VMID, fleetOnly bool) {
 	for t := 0; t < routeBits; t++ {
 		var syncList, asyncList []*subscription
+		var sbits uint64
 		for _, s := range subs {
 			if fleetOnly {
 				if !s.scope.fleet {
@@ -87,11 +92,13 @@ func (vr *vmRoutes) fill(subs []*subscription, vm VMID, fleetOnly bool) {
 			}
 			if s.mode == DeliverSync {
 				syncList = append(syncList, s)
+				sbits |= s.actorBit
 			} else {
 				asyncList = append(asyncList, s)
 			}
 		}
 		vr.sync[t] = syncList
 		vr.async[t] = asyncList
+		vr.syncBits[t] = sbits
 	}
 }

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"fmt"
+	"path/filepath"
+	"strconv"
 	"time"
 
 	"hypertap/internal/auditors/fleetwatch"
@@ -9,6 +11,7 @@ import (
 	"hypertap/internal/core"
 	"hypertap/internal/core/intercept"
 	"hypertap/internal/experiment/runner"
+	"hypertap/internal/flight"
 	"hypertap/internal/guest"
 	"hypertap/internal/host"
 	"hypertap/internal/telemetry"
@@ -41,6 +44,19 @@ type FleetConfig struct {
 	// Telemetry, when set, receives each completed host's registry shard
 	// as it finishes; per-VM labeled series roll up across the campaign.
 	Telemetry *telemetry.Registry
+	// FlightDepth sizes each unit host's flight-recorder rings
+	// (host.Config.FlightDepth): zero selects the default, negative
+	// disables the tracing plane.
+	FlightDepth int
+	// IncidentDir, when non-empty, arms incident capture: a unit that
+	// panics, fails, or ends with auditor detections dumps a self-contained
+	// bundle under IncidentDir/unit-NNN/, replayable with ReplayIncident.
+	// Requires the tracing plane (FlightDepth >= 0).
+	IncidentDir string
+	// ExtraAuditors, when set, runs for each unit after the standard
+	// auditors are registered and before boot — the fault-injection hook
+	// campaign tests use to plant a panicking or erroring auditor.
+	ExtraAuditors func(unit int, h *host.Host) error
 }
 
 func (c *FleetConfig) fillDefaults() {
@@ -98,17 +114,175 @@ func fleetUnitWorkload(slot int) []guest.Step {
 	return specs[slot%len(specs)]
 }
 
+// newFleetSink arms incident capture for one unit, stamping the campaign
+// coordinates that make the bundle replayable.
+func newFleetSink(cfg *FleetConfig, ctx *runner.Ctx, hostName string, h *host.Host) (*flight.Sink, error) {
+	return flight.NewSink(flight.SinkConfig{
+		Dir:       filepath.Join(cfg.IncidentDir, fmt.Sprintf("unit-%03d", ctx.Index)),
+		EM:        h.EM(),
+		Telemetry: ctx.Telemetry,
+		Context: map[string]string{
+			"campaign_seed": strconv.FormatInt(cfg.Seed, 10),
+			"unit":          strconv.Itoa(ctx.Index),
+			"unit_seed":     strconv.FormatInt(ctx.Seed, 10),
+			"host":          hostName,
+		},
+	})
+}
+
+// runFleetUnit executes one campaign unit: an N-VM host with per-VM GOSHD,
+// a fleet-wide accountant, and — when the campaign armed an IncidentDir —
+// incident capture for panics, errors and detections.
+func runFleetUnit(cfg *FleetConfig, ctx *runner.Ctx) (rep FleetHostReport, err error) {
+	feat := intercept.Features{
+		ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true,
+		Syscalls: true, IO: true,
+	}
+	hostName := fmt.Sprintf("host%d", ctx.Index)
+	specs := make([]host.VMSpec, cfg.VMsPerHost)
+	seeds := make([]int64, cfg.VMsPerHost)
+	for j := range specs {
+		seeds[j] = runner.UnitSeed(ctx.Seed, j)
+		specs[j] = host.VMSpec{
+			Name:    fmt.Sprintf("%s-vm%d", hostName, j),
+			Guest:   guest.Config{Seed: seeds[j]},
+			Monitor: true, Features: feat,
+		}
+	}
+	h, err := host.New(host.Config{
+		Name: hostName, VMs: specs, Telemetry: ctx.Telemetry,
+		FlightDepth: cfg.FlightDepth,
+	})
+	if err != nil {
+		return FleetHostReport{}, err
+	}
+	var sink *flight.Sink
+	if cfg.IncidentDir != "" {
+		if sink, err = newFleetSink(cfg, ctx, hostName, h); err != nil {
+			return FleetHostReport{}, err
+		}
+	}
+	// Any panic or error on the unit's single-threaded schedule dumps a
+	// bundle before the unit reports failure: the rings still hold the last
+	// events leading up to the fault, so the artifact alone reproduces it.
+	defer func() {
+		kind := "error"
+		if r := recover(); r != nil {
+			kind = "panic"
+			err = fmt.Errorf("fleet unit %d: panic: %v", ctx.Index, r)
+		}
+		if err != nil && sink != nil {
+			if _, serr := sink.Raise(kind, 0, h.Machine(0).Clock().Now(), err); serr != nil {
+				err = fmt.Errorf("%w (incident capture also failed: %v)", err, serr)
+			}
+		}
+	}()
+	// Verdict spans: each detection callback stamps the triggering event's
+	// span into the shared ring, tying the verdict to the decode it judged.
+	// Multiplexer.RecordSpan serializes the step through the EM lock.
+	em := h.EM()
+	var goshdActor, fwActor uint8
+	dets := make([]*goshd.Detector, cfg.VMsPerHost)
+	for j := range dets {
+		m := h.Machine(j)
+		vmid := core.VMID(j)
+		det, derr := goshd.New(goshd.Config{
+			VM:        vmid,
+			Clock:     m.Clock(),
+			VCPUs:     m.NumVCPUs(),
+			Threshold: cfg.Threshold,
+			OnHang: func(a goshd.HangAlarm) {
+				em.RecordSpan(a.Span, vmid, core.PhaseVerdict, goshdActor, a.At)
+			},
+		})
+		if derr != nil {
+			return FleetHostReport{}, derr
+		}
+		if rerr := h.EM().RegisterAuditor(det, core.DeliverAsync, 0); rerr != nil {
+			return FleetHostReport{}, rerr
+		}
+		dets[j] = det
+	}
+	fw := fleetwatch.New(fleetwatch.Config{
+		VMName: h.EM().VMName,
+		OnStorm: func(s fleetwatch.Storm) {
+			em.RecordSpan(s.Span, s.VM, core.PhaseVerdict, fwActor, s.WindowStart)
+		},
+	})
+	if ctx.Telemetry != nil {
+		fw.EnableTelemetry(ctx.Telemetry)
+	}
+	if err := h.EM().RegisterAuditor(fw, core.DeliverAsync, 1<<16); err != nil {
+		return FleetHostReport{}, err
+	}
+	if id, ok := h.EM().ActorID("goshd"); ok {
+		goshdActor = id
+	}
+	if id, ok := h.EM().ActorID("fleetwatch"); ok {
+		fwActor = id
+	}
+	if cfg.ExtraAuditors != nil {
+		if err := cfg.ExtraAuditors(ctx.Index, h); err != nil {
+			return FleetHostReport{}, err
+		}
+	}
+	if err := h.Boot(); err != nil {
+		return FleetHostReport{}, err
+	}
+	for j := 0; j < cfg.VMsPerHost; j++ {
+		dets[j].Start()
+		if _, err := h.Machine(j).Kernel().CreateProcess(&guest.ProcSpec{
+			Comm: fmt.Sprintf("w%d", j), UID: 1000,
+			Program: &guest.LoopProgram{Body: fleetUnitWorkload(j)},
+		}, nil); err != nil {
+			return FleetHostReport{}, err
+		}
+	}
+	h.Run(cfg.Duration)
+
+	report := FleetHostReport{Host: hostName, Seed: ctx.Seed}
+	totalAlarms := 0
+	firstAlarmVM := core.VMID(0)
+	for j := 0; j < cfg.VMsPerHost; j++ {
+		m := h.Machine(j)
+		st := m.Kernel().Stats()
+		vm := FleetVMReport{
+			Name:     m.Name(),
+			Seed:     seeds[j],
+			Events:   h.EM().PublishedVM(core.VMID(j)),
+			Syscalls: st.Syscalls,
+			Switches: st.ContextSwitches,
+			Exits:    m.TotalExits(),
+			Alarms:   len(dets[j].Alarms()),
+		}
+		if vm.Alarms > 0 && totalAlarms == 0 {
+			firstAlarmVM = core.VMID(j)
+		}
+		totalAlarms += vm.Alarms
+		report.VMs = append(report.VMs, vm)
+		report.Events += vm.Events
+	}
+	report.Storms = len(fw.Storms())
+	if sink != nil && (totalAlarms > 0 || report.Storms > 0) {
+		implicated := firstAlarmVM
+		if totalAlarms == 0 {
+			implicated = fw.Storms()[0].VM
+		}
+		verdict := fmt.Errorf("%d goshd alarms, %d storms", totalAlarms, report.Storms)
+		if _, serr := sink.Raise("detection", implicated, h.Machine(0).Clock().Now(), verdict); serr != nil {
+			sink = nil // capture already attempted; the defer must not retry
+			return report, serr
+		}
+	}
+	return report, nil
+}
+
 // RunFleetCampaign executes the fleet campaign on the sharded engine: hosts
 // are independent units, so the campaign parallelizes across hosts while
 // each host's internal schedule stays the deterministic single-threaded
 // round-robin the equivalence suite pins.
 func RunFleetCampaign(cfg FleetConfig) (*FleetResult, error) {
 	cfg.fillDefaults()
-	feat := intercept.Features{
-		ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true,
-		Syscalls: true, IO: true,
-	}
-
 	campaign := runner.Campaign[FleetHostReport]{
 		Units:     cfg.Hosts,
 		Parallel:  cfg.Parallel,
@@ -117,79 +291,7 @@ func RunFleetCampaign(cfg FleetConfig) (*FleetResult, error) {
 		Telemetry: cfg.Telemetry != nil,
 		Live:      cfg.Telemetry,
 		Run: func(ctx *runner.Ctx) (FleetHostReport, error) {
-			hostName := fmt.Sprintf("host%d", ctx.Index)
-			specs := make([]host.VMSpec, cfg.VMsPerHost)
-			seeds := make([]int64, cfg.VMsPerHost)
-			for j := range specs {
-				seeds[j] = runner.UnitSeed(ctx.Seed, j)
-				specs[j] = host.VMSpec{
-					Name:    fmt.Sprintf("%s-vm%d", hostName, j),
-					Guest:   guest.Config{Seed: seeds[j]},
-					Monitor: true, Features: feat,
-				}
-			}
-			h, err := host.New(host.Config{
-				Name: hostName, VMs: specs, Telemetry: ctx.Telemetry,
-			})
-			if err != nil {
-				return FleetHostReport{}, err
-			}
-			dets := make([]*goshd.Detector, cfg.VMsPerHost)
-			for j := range dets {
-				m := h.Machine(j)
-				det, err := goshd.New(goshd.Config{
-					VM:        core.VMID(j),
-					Clock:     m.Clock(),
-					VCPUs:     m.NumVCPUs(),
-					Threshold: cfg.Threshold,
-				})
-				if err != nil {
-					return FleetHostReport{}, err
-				}
-				if err := h.EM().RegisterAuditor(det, core.DeliverAsync, 0); err != nil {
-					return FleetHostReport{}, err
-				}
-				dets[j] = det
-			}
-			fw := fleetwatch.New(fleetwatch.Config{VMName: h.EM().VMName})
-			if ctx.Telemetry != nil {
-				fw.EnableTelemetry(ctx.Telemetry)
-			}
-			if err := h.EM().RegisterAuditor(fw, core.DeliverAsync, 1<<16); err != nil {
-				return FleetHostReport{}, err
-			}
-			if err := h.Boot(); err != nil {
-				return FleetHostReport{}, err
-			}
-			for j := 0; j < cfg.VMsPerHost; j++ {
-				dets[j].Start()
-				if _, err := h.Machine(j).Kernel().CreateProcess(&guest.ProcSpec{
-					Comm: fmt.Sprintf("w%d", j), UID: 1000,
-					Program: &guest.LoopProgram{Body: fleetUnitWorkload(j)},
-				}, nil); err != nil {
-					return FleetHostReport{}, err
-				}
-			}
-			h.Run(cfg.Duration)
-
-			report := FleetHostReport{Host: hostName, Seed: ctx.Seed}
-			for j := 0; j < cfg.VMsPerHost; j++ {
-				m := h.Machine(j)
-				st := m.Kernel().Stats()
-				vm := FleetVMReport{
-					Name:     m.Name(),
-					Seed:     seeds[j],
-					Events:   h.EM().PublishedVM(core.VMID(j)),
-					Syscalls: st.Syscalls,
-					Switches: st.ContextSwitches,
-					Exits:    m.TotalExits(),
-					Alarms:   len(dets[j].Alarms()),
-				}
-				report.VMs = append(report.VMs, vm)
-				report.Events += vm.Events
-			}
-			report.Storms = len(fw.Storms())
-			return report, nil
+			return runFleetUnit(&cfg, ctx)
 		},
 	}
 
@@ -206,4 +308,42 @@ func RunFleetCampaign(cfg FleetConfig) (*FleetResult, error) {
 		out.TotalStorms += hr.Storms
 	}
 	return out, nil
+}
+
+// ReplayIncident re-runs the campaign unit recorded in an incident bundle.
+// The bundle's manifest carries the campaign seed and unit index, and every
+// unit is a pure function of (configuration, seed, index), so the replay
+// reproduces the original run exactly — same events, same verdicts, same
+// panic if one was captured. Pass the same FleetConfig the campaign used
+// (including any ExtraAuditors fault injection); cfg.Seed is overridden from
+// the bundle. Set cfg.IncidentDir to capture a fresh bundle from the replay
+// (byte-comparable to the original), or leave it empty for a pure re-run.
+func ReplayIncident(cfg FleetConfig, bundleDir string) (*FleetHostReport, error) {
+	b, err := flight.LoadBundle(bundleDir)
+	if err != nil {
+		return nil, err
+	}
+	unitStr, ok := b.Meta.Context["unit"]
+	if !ok {
+		return nil, fmt.Errorf("experiment: bundle %s carries no unit index", bundleDir)
+	}
+	unit, err := strconv.Atoi(unitStr)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: bundle %s: bad unit index %q", bundleDir, unitStr)
+	}
+	seedStr, ok := b.Meta.Context["campaign_seed"]
+	if !ok {
+		return nil, fmt.Errorf("experiment: bundle %s carries no campaign seed", bundleDir)
+	}
+	if cfg.Seed, err = strconv.ParseInt(seedStr, 10, 64); err != nil {
+		return nil, fmt.Errorf("experiment: bundle %s: bad campaign seed %q", bundleDir, seedStr)
+	}
+	cfg.fillDefaults()
+	ctx := &runner.Ctx{
+		Index: unit,
+		Seed:  runner.UnitSeed(cfg.Seed, unit),
+		RNG:   runner.UnitRNG(cfg.Seed, unit),
+	}
+	rep, err := runFleetUnit(&cfg, ctx)
+	return &rep, err
 }

@@ -67,6 +67,14 @@ func (r ExitReason) String() string {
 	return fmt.Sprintf("ExitReason(%d)", uint8(r))
 }
 
+// Valid reports whether r is one of the modeled exit reasons. Deserializers
+// (the flight recorder's binary codec) use it to reject corrupt records: an
+// exit reason is a closed enum, so any other byte is not a version-skew
+// artifact but damage.
+func (r ExitReason) Valid() bool {
+	return r != 0 && int(r) <= numExitReasons
+}
+
 // AllExitReasons lists every modeled exit reason in declaration order.
 func AllExitReasons() []ExitReason {
 	out := make([]ExitReason, 0, numExitReasons)

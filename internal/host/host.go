@@ -55,6 +55,11 @@ type Config struct {
 	// VMs lists the fleet; slot order fixes VMID assignment (slot i is
 	// VMID i) and the round-robin step order.
 	VMs []VMSpec
+	// FlightDepth sizes the per-VM flight-recorder rings. Zero selects
+	// core.DefaultFlightDepth; negative disables the tracing plane entirely.
+	// The recorder is on by default — its cost is one gated slot write per
+	// published event, cheap enough to stay enabled during benchmarks.
+	FlightDepth int
 }
 
 // Host is one physical host's fleet: N machines, one EM, one RHC client.
@@ -63,6 +68,7 @@ type Host struct {
 	em       *core.Multiplexer
 	machines []*hv.Machine
 	rhc      *core.RHCClient
+	flight   *core.FlightTable
 	booted   bool
 }
 
@@ -81,6 +87,10 @@ func New(cfg Config) (*Host, error) {
 	h := &Host{cfg: cfg, em: core.NewMultiplexer()}
 	if cfg.Telemetry != nil {
 		h.em.EnableTelemetry(cfg.Telemetry)
+	}
+	if cfg.FlightDepth >= 0 {
+		h.flight = core.NewFlightTable(len(cfg.VMs), cfg.FlightDepth, 0)
+		h.em.SetFlight(h.flight)
 	}
 	for i, spec := range cfg.VMs {
 		name := spec.Name
@@ -205,3 +215,6 @@ func (h *Host) Machines() []*hv.Machine { return h.machines }
 
 // RHC returns the host's RHC client, or nil before ConnectRHC.
 func (h *Host) RHC() *core.RHCClient { return h.rhc }
+
+// Flight returns the host's flight table, nil when Config.FlightDepth < 0.
+func (h *Host) Flight() *core.FlightTable { return h.flight }

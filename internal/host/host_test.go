@@ -192,6 +192,9 @@ func TestFleetEquivalence(t *testing.T) {
 		for j := range fleet.events {
 			f, s := fleet.events[j], solo.events[j]
 			f.VM, s.VM = 0, 0 // identity differs by construction; all else must not
+			// Spans mint the VMID into their high bits — same story.
+			f.Span = core.MintSpan(0, f.Span.Seq(), f.Span.Index())
+			s.Span = core.MintSpan(0, s.Span.Seq(), s.Span.Index())
 			if f != s {
 				t.Fatalf("vm%d event %d diverged:\nfleet %+v\nsolo  %+v", i, j, f, s)
 			}
@@ -200,8 +203,13 @@ func TestFleetEquivalence(t *testing.T) {
 			t.Fatalf("vm%d: fleet %d GOSHD alarms, solo %d", i, len(fleet.alarms), len(solo.alarms))
 		}
 		for j := range fleet.alarms {
-			if fleet.alarms[j] != solo.alarms[j] {
-				t.Fatalf("vm%d alarm %d: fleet %+v, solo %+v", i, j, fleet.alarms[j], solo.alarms[j])
+			fa, sa := fleet.alarms[j], solo.alarms[j]
+			// Alarm anchors are spans, which mint the VMID — normalize it
+			// away like the event identities above.
+			fa.Span = core.MintSpan(0, fa.Span.Seq(), fa.Span.Index())
+			sa.Span = core.MintSpan(0, sa.Span.Seq(), sa.Span.Index())
+			if fa != sa {
+				t.Fatalf("vm%d alarm %d: fleet %+v, solo %+v", i, j, fa, sa)
 			}
 		}
 		if i == 2 && len(fleet.alarms) == 0 {

@@ -79,6 +79,10 @@ type Config struct {
 	// once for the whole fleet. Registries may be shared across machines;
 	// shared series aggregate.
 	Telemetry *telemetry.Registry
+	// Flight, when set and the machine owns its EM, is attached to that EM
+	// as the tracing plane (the EM records exits and span steps itself on
+	// publish). On a host-shared EM the host attaches its own table once.
+	Flight *core.FlightTable
 }
 
 func (c *Config) fillDefaults() {
@@ -158,6 +162,11 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("hv: %w", err)
 	}
 	m.vmid = vmid
+	if cfg.Flight != nil && m.ownsEM {
+		// Solo deployment: the machine owns the EM, so it owns attaching the
+		// exit recorder too. On a shared EM the host does this once.
+		m.em.SetFlight(cfg.Flight)
+	}
 	var handler hav.ExitHandler = hav.ExitHandlerFunc(m.handleExit)
 	if cfg.Telemetry != nil {
 		if m.ownsEM {

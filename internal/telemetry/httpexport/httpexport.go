@@ -7,6 +7,11 @@
 // a stalled heartbeat stream — the signature of a dead or wedged monitoring
 // stack — flips /healthz to 503, so the same invariant the RHC enforces
 // over TCP is visible to any off-the-shelf prober.
+//
+// With Options the endpoint also exposes the tracing plane: /flight drains
+// the flight recorder's rings as JSON (the live sibling of an incident
+// bundle), and /debug/pprof/ mounts the standard Go profiler so the hot
+// path can be profiled on a running deployment.
 package httpexport
 
 import (
@@ -15,10 +20,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"hypertap/internal/core"
 	"hypertap/internal/telemetry"
 )
 
@@ -26,24 +34,43 @@ import (
 // A nil Health func is treated as always healthy.
 type Health func() error
 
+// Options configures an extended endpoint. The zero value serves nothing
+// useful; set at least Registry.
+type Options struct {
+	// Registry backs /metrics and /metrics.json.
+	Registry *telemetry.Registry
+	// Health backs /healthz; nil means always healthy.
+	Health Health
+	// EM, when set, exposes its flight recorder on /flight: the whole
+	// table, or one VM's ring with ?vm=N. 404 when tracing is off.
+	EM *core.Multiplexer
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
 // Handler returns an http.Handler serving /metrics, /metrics.json and
 // /healthz for the registry.
 func Handler(reg *telemetry.Registry, health Health) http.Handler {
+	return HandlerOptions(Options{Registry: reg, Health: health})
+}
+
+// HandlerOptions returns an http.Handler for the full option set.
+func HandlerOptions(o Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteProm(w, reg.Snapshot())
+		WriteProm(w, o.Registry.Snapshot())
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(reg.Snapshot())
+		_ = enc.Encode(o.Registry.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if health != nil {
-			if err := health(); err != nil {
+		if o.Health != nil {
+			if err := o.Health(); err != nil {
 				w.WriteHeader(http.StatusServiceUnavailable)
 				fmt.Fprintf(w, "degraded: %v\n", err)
 				return
@@ -51,7 +78,138 @@ func Handler(reg *telemetry.Registry, health Health) http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	if o.EM != nil {
+		mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+			serveFlight(w, r, o.EM)
+		})
+	}
+	if o.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// flightExitJSON is the debug-drain rendering of one core.FlightExit:
+// identities as hex strings, masks as integers, the type by name.
+type flightExitJSON struct {
+	Span    string `json:"span"`
+	TimeNS  int64  `json:"time_ns"`
+	Type    string `json:"type"`
+	VCPU    uint8  `json:"vcpu"`
+	Digest  string `json:"digest"`
+	Sync    uint64 `json:"sync_mask"`
+	Queued  uint64 `json:"queued_mask"`
+	Dropped uint64 `json:"dropped_mask"`
+	Reason  uint8  `json:"exit_reason,omitempty"`
+}
+
+// flightSpanJSON is the debug-drain rendering of one core.SpanRecord.
+type flightSpanJSON struct {
+	Span   string `json:"span"`
+	TimeNS int64  `json:"time_ns"`
+	VM     uint16 `json:"vm"`
+	Phase  string `json:"phase"`
+	Actor  string `json:"actor"`
+}
+
+// flightVMJSON is one VM's ring in the drain.
+type flightVMJSON struct {
+	ID       int              `json:"id"`
+	Name     string           `json:"name"`
+	Recorded uint64           `json:"recorded"`
+	Exits    []flightExitJSON `json:"exits"`
+}
+
+// flightJSON is the /flight response body.
+type flightJSON struct {
+	Armed    bool             `json:"armed"`
+	Depth    int              `json:"depth"`
+	VMs      []flightVMJSON   `json:"vms"`
+	Overflow []flightExitJSON `json:"overflow,omitempty"`
+	Spans    []flightSpanJSON `json:"spans,omitempty"`
+}
+
+func renderExits(exits []core.FlightExit) []flightExitJSON {
+	out := make([]flightExitJSON, len(exits))
+	for i, e := range exits {
+		out[i] = flightExitJSON{
+			Span:    fmt.Sprintf("%#x", uint64(e.Span)),
+			TimeNS:  e.TimeNS,
+			Type:    e.Type.String(),
+			VCPU:    e.VCPU,
+			Digest:  fmt.Sprintf("%#x", e.Digest),
+			Sync:    e.Sync,
+			Queued:  e.Queued,
+			Dropped: e.Dropped,
+			Reason:  e.Reason,
+		}
+	}
+	return out
+}
+
+// serveFlight drains the EM's flight recorder as JSON: every attached VM's
+// ring, or one VM's with ?vm=N.
+func serveFlight(w http.ResponseWriter, r *http.Request, em *core.Multiplexer) {
+	fl := em.Flight()
+	if fl == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	vms := em.VMs()
+	if len(vms) == 0 {
+		// A bare EM publishes everything as VM 0; give the drain one row.
+		vms = []string{"vm0"}
+	}
+	resp := flightJSON{Armed: fl.Armed(), Depth: fl.Depth()}
+	if q := r.URL.Query().Get("vm"); q != "" {
+		id, err := strconv.Atoi(q)
+		if err != nil || id < 0 {
+			http.Error(w, "bad vm parameter", http.StatusBadRequest)
+			return
+		}
+		if id >= len(vms) {
+			http.Error(w, "no such VM", http.StatusNotFound)
+			return
+		}
+		resp.VMs = []flightVMJSON{{
+			ID:       id,
+			Name:     vms[id],
+			Recorded: em.FlightRecorded(core.VMID(id)),
+			Exits:    renderExits(em.FlightExits(core.VMID(id))),
+		}}
+	} else {
+		for id, name := range vms {
+			resp.VMs = append(resp.VMs, flightVMJSON{
+				ID:       id,
+				Name:     name,
+				Recorded: em.FlightRecorded(core.VMID(id)),
+				Exits:    renderExits(em.FlightExits(core.VMID(id))),
+			})
+		}
+		resp.Overflow = renderExits(em.FlightOverflow())
+		actors := em.ActorNames()
+		for _, s := range em.FlightSpans() {
+			actor := fmt.Sprintf("actor%d", s.Actor)
+			if int(s.Actor) < len(actors) {
+				actor = actors[s.Actor]
+			}
+			resp.Spans = append(resp.Spans, flightSpanJSON{
+				Span:   fmt.Sprintf("%#x", uint64(s.Span)),
+				TimeNS: s.TimeNS,
+				VM:     uint16(s.VM),
+				Phase:  s.Phase.String(),
+				Actor:  actor,
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
 }
 
 // Server is a running telemetry endpoint.
@@ -62,11 +220,16 @@ type Server struct {
 
 // Serve starts the telemetry endpoint on addr (e.g. "127.0.0.1:0").
 func Serve(addr string, reg *telemetry.Registry, health Health) (*Server, error) {
+	return ServeOptions(addr, Options{Registry: reg, Health: health})
+}
+
+// ServeOptions starts the extended endpoint on addr.
+func ServeOptions(addr string, o Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("httpexport: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, health), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: HandlerOptions(o), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

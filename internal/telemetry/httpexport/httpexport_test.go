@@ -1,6 +1,7 @@
 package httpexport
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,10 @@ import (
 	"testing"
 	"time"
 
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/host"
 	"hypertap/internal/telemetry"
 )
 
@@ -116,5 +121,157 @@ func TestServeOverTCP(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hypertap_events_published_total") {
 		t.Fatalf("live /metrics: %d %q", resp.StatusCode, body)
+	}
+}
+
+// multiVMHost boots a two-VM host with telemetry, flight tracing and a
+// shared RHC connection, runs it briefly, and hands back the pieces.
+func multiVMHost(t *testing.T) (*host.Host, *core.RHCServer, *telemetry.Registry) {
+	t.Helper()
+	srv, err := core.NewRHCServer("127.0.0.1:0", 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	reg := telemetry.NewRegistry()
+	feat := intercept.Features{ProcessSwitch: true, ThreadSwitch: true, Syscalls: true, IO: true}
+	h, err := host.New(host.Config{
+		Name: "export-host",
+		VMs: []host.VMSpec{
+			{Name: "vm-a", Guest: guest.Config{Seed: 5}, Monitor: true, Features: feat},
+			{Name: "vm-b", Guest: guest.Config{Seed: 6}, Monitor: true, Features: feat},
+		},
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ConnectRHC(srv.Addr(), 16); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < h.NumVMs(); i++ {
+		if _, err := h.Machine(i).Kernel().CreateProcess(&guest.ProcSpec{
+			Comm: "w", UID: 1000,
+			Program: &guest.LoopProgram{Body: []guest.Step{
+				guest.DoSyscall(guest.SysGetPID),
+				guest.Compute(time.Millisecond),
+			}},
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Run(200 * time.Millisecond)
+	return h, srv, reg
+}
+
+// TestMultiVMHostEndpoint drives the full endpoint against a live two-VM
+// host: per-VM metric labels, RHC-backed health that degrades when one VM
+// goes silent, the /flight debug drain, and the pprof mount.
+func TestMultiVMHostEndpoint(t *testing.T) {
+	h, srv, reg := multiVMHost(t)
+	if _, ok := srv.WaitHeartbeat("vm-a", 2*time.Second); !ok {
+		t.Fatal("no heartbeats from vm-a")
+	}
+	if _, ok := srv.WaitHeartbeat("vm-b", 2*time.Second); !ok {
+		t.Fatal("no heartbeats from vm-b")
+	}
+	handler := HandlerOptions(Options{Registry: reg, Health: srv.Health, EM: h.EM(), Pprof: true})
+
+	// Both VMs beating: healthy.
+	if code, body := get(t, handler, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthy fleet: /healthz = %d %q", code, body)
+	}
+	// Per-VM labeled series from the shared EM.
+	_, body := get(t, handler, "/metrics")
+	for _, want := range []string{
+		`hypertap_events_published_total{vm="vm-a"}`,
+		`hypertap_events_published_total{vm="vm-b"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Flight drain: both rings populated, spans present, filters work.
+	code, body := get(t, handler, "/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/flight = %d", code)
+	}
+	var drain struct {
+		Armed bool `json:"armed"`
+		VMs   []struct {
+			Name     string `json:"name"`
+			Recorded uint64 `json:"recorded"`
+			Exits    []struct {
+				Type string `json:"type"`
+				Span string `json:"span"`
+			} `json:"exits"`
+		} `json:"vms"`
+		Spans []struct {
+			Phase string `json:"phase"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &drain); err != nil {
+		t.Fatalf("/flight is not JSON: %v", err)
+	}
+	if !drain.Armed || len(drain.VMs) != 2 {
+		t.Fatalf("drain armed=%v vms=%d, want armed 2-VM table", drain.Armed, len(drain.VMs))
+	}
+	for _, vm := range drain.VMs {
+		if vm.Recorded == 0 || len(vm.Exits) == 0 {
+			t.Fatalf("VM %s ring is empty in the drain", vm.Name)
+		}
+	}
+	if len(drain.Spans) == 0 {
+		t.Fatal("drain carries no spans")
+	}
+	if code, body := get(t, handler, "/flight?vm=1"); code != http.StatusOK || !strings.Contains(body, "vm-b") || strings.Contains(body, "vm-a") {
+		t.Fatalf("/flight?vm=1 = %d, want only vm-b (body %q)", code, body)
+	}
+	if code, _ := get(t, handler, "/flight?vm=9"); code != http.StatusNotFound {
+		t.Fatalf("/flight?vm=9 = %d, want 404", code)
+	}
+	if code, _ := get(t, handler, "/flight?vm=x"); code != http.StatusBadRequest {
+		t.Fatalf("/flight?vm=x = %d, want 400", code)
+	}
+	if code, _ := get(t, handler, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	// One VM wedges while its neighbor keeps beating: the shared health
+	// probe degrades and names the sick VM.
+	h.Machine(0).PauseVM()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Run(50 * time.Millisecond)
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		code, body := get(t, handler, "/healthz")
+		if code == http.StatusServiceUnavailable {
+			if !strings.Contains(body, "vm-a") {
+				t.Fatalf("degraded /healthz does not name the sick VM: %q", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/healthz never degraded after vm-a went silent")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

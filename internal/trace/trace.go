@@ -31,6 +31,13 @@ type Record struct {
 	Seq  uint64 `json:"seq"`
 	// TimeNS is the virtual timestamp in nanoseconds.
 	TimeNS int64 `json:"time_ns"`
+	// VM is the event's host-fleet identity. Recorded and restored so a
+	// replayed multi-VM trace routes through VM-scoped subscriptions the
+	// way the live stream did.
+	VM uint16 `json:"vm"`
+	// Span is the event's causal span in the flight recorder, kept so
+	// offline analysis can correlate a trace with an incident bundle.
+	Span uint64 `json:"span,omitempty"`
 
 	// Architectural snapshot.
 	RIP  uint64   `json:"rip,omitempty"`
@@ -71,6 +78,8 @@ func FromEvent(ev *core.Event) Record {
 		VCPU:        ev.VCPU,
 		Seq:         ev.Seq,
 		TimeNS:      int64(ev.Time),
+		VM:          uint16(ev.VM),
+		Span:        uint64(ev.Span),
 		RIP:         uint64(ev.Regs.RIP),
 		RSP:         uint64(ev.Regs.RSP),
 		CR3:         uint64(ev.Regs.CR3),
@@ -105,6 +114,8 @@ func (r *Record) ToEvent() (core.Event, error) {
 		VCPU:        r.VCPU,
 		Seq:         r.Seq,
 		Time:        time.Duration(r.TimeNS),
+		VM:          core.VMID(r.VM),
+		Span:        core.SpanID(r.Span),
 		PDBA:        arch.GPA(r.PDBA),
 		RSP0:        arch.GVA(r.RSP0),
 		SyscallNr:   r.SyscallNr,
@@ -214,8 +225,24 @@ func Read(rd io.Reader) ([]core.Event, error) {
 	}
 }
 
+// deliverTo mirrors the EM's routing offline: masks filter by event type,
+// and a VM-scoped auditor receives only its own VM's events. Unscoped
+// auditors see the whole trace, like a fleet-wide subscription.
+func deliverTo(a core.Auditor, ev *core.Event) bool {
+	if !a.Mask().Has(ev.Type) {
+		return false
+	}
+	if s, ok := a.(core.VMScoped); ok {
+		if scope := s.VMScope(); !scope.Fleet() && scope.VM() != ev.VM {
+			return false
+		}
+	}
+	return true
+}
+
 // Replay feeds a recorded trace through auditors offline, in recorded order,
-// respecting each auditor's mask. It returns the number of events delivered.
+// respecting each auditor's mask and VM scope. It returns the number of
+// events delivered.
 func Replay(rd io.Reader, auditors ...core.Auditor) (int, error) {
 	events, err := Read(rd)
 	if err != nil {
@@ -224,7 +251,7 @@ func Replay(rd io.Reader, auditors ...core.Auditor) (int, error) {
 	delivered := 0
 	for i := range events {
 		for _, a := range auditors {
-			if a.Mask().Has(events[i].Type) {
+			if deliverTo(a, &events[i]) {
 				a.HandleEvent(&events[i])
 				delivered++
 			}
@@ -249,7 +276,7 @@ func ReplayWithClock(rd io.Reader, clock *vclock.Clock, tail time.Duration, audi
 	for i := range events {
 		clock.AdvanceTo(events[i].Time)
 		for _, a := range auditors {
-			if a.Mask().Has(events[i].Type) {
+			if deliverTo(a, &events[i]) {
 				a.HandleEvent(&events[i])
 				delivered++
 			}

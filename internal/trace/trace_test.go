@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -120,6 +121,7 @@ func TestEventRecordConversionExact(t *testing.T) {
 	ev := core.Event{
 		Type: core.EvSyscall, VCPU: 1, Seq: 42, Time: 123456 * time.Microsecond,
 		SyscallNr: 4, SyscallArgs: [4]uint64{1, 2, 3, 4},
+		VM: 3, Span: core.MintSpan(3, 42, 1),
 	}
 	ev.Regs.CR3 = 0x9000
 	ev.Regs.TR = 0x801000
@@ -133,6 +135,66 @@ func TestEventRecordConversionExact(t *testing.T) {
 		back.SyscallArgs != ev.SyscallArgs || back.Regs.CR3 != ev.Regs.CR3 ||
 		back.Regs.GPR(3) != 7 {
 		t.Fatalf("round trip mismatch: %+v vs %+v", back, ev)
+	}
+	if back.VM != ev.VM || back.Span != ev.Span {
+		t.Fatalf("fleet identity lost in round trip: vm %d span %v, want vm %d span %v",
+			back.VM, back.Span, ev.VM, ev.Span)
+	}
+}
+
+// scopedCollector is a VM-scoped auditor that tallies which VMs it saw.
+type scopedCollector struct {
+	scope core.VMScope
+	seen  []core.VMID
+}
+
+func (c *scopedCollector) Name() string               { return "collector-" + c.scope.String() }
+func (c *scopedCollector) Mask() core.EventMask       { return core.MaskAll }
+func (c *scopedCollector) HandleEvent(ev *core.Event) { c.seen = append(c.seen, ev.VM) }
+func (c *scopedCollector) VMScope() core.VMScope      { return c.scope }
+
+// TestReplayRoutesVMScopes pins that a replayed multi-VM trace routes through
+// VM-scoped subscriptions exactly as the live EM would: scoped auditors see
+// only their VM, fleet-wide and unscoped auditors see everything.
+func TestReplayRoutesVMScopes(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 6
+	for i := 0; i < n; i++ {
+		vm := core.VMID(i % 2)
+		ev := core.Event{
+			Type: core.EvSyscall, Seq: uint64(i + 1),
+			Time: time.Duration(i) * time.Millisecond,
+			VM:   vm, Span: core.MintSpan(vm, uint64(i+1), 0),
+		}
+		rec := trace.FromEvent(&ev)
+		b, err := json.Marshal(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+
+	vm1 := &scopedCollector{scope: core.ScopeVM(1)}
+	fleet := &scopedCollector{scope: core.ScopeFleet()}
+	unscoped := &core.AuditorFunc{AuditorName: "plain", EventMask: core.MaskAll, Fn: func(ev *core.Event) {}}
+	delivered, err := trace.Replay(bytes.NewReader(buf.Bytes()), vm1, fleet, unscoped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := n/2 + n + n; delivered != want {
+		t.Fatalf("delivered %d events, want %d", delivered, want)
+	}
+	if len(vm1.seen) != n/2 {
+		t.Fatalf("vm1-scoped auditor saw %d events, want %d", len(vm1.seen), n/2)
+	}
+	for _, vm := range vm1.seen {
+		if vm != 1 {
+			t.Fatalf("vm1-scoped auditor saw an event from vm%d", vm)
+		}
+	}
+	if len(fleet.seen) != n {
+		t.Fatalf("fleet-scoped auditor saw %d events, want %d", len(fleet.seen), n)
 	}
 }
 
