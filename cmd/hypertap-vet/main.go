@@ -11,8 +11,13 @@
 //
 // Flags:
 //
-//	-json   emit findings as a JSON array for tooling
-//	-list   list the passes and their rationale, then exit
+//	-json             emit findings as a JSON array for tooling
+//	-sarif            emit findings as SARIF 2.1.0 for code-scanning upload
+//	-baseline FILE    drop findings accepted in FILE; stale entries are
+//	                  themselves findings
+//	-write-baseline FILE
+//	                  write the current findings as a fresh baseline and exit
+//	-list             list the passes and their rationale, then exit
 package main
 
 import (
@@ -36,6 +41,9 @@ type jsonFinding struct {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings to suppress")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	list := flag.Bool("list", false, "list passes and their rationale, then exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: hypertap-vet [flags] [packages]\n\n")
@@ -49,6 +57,10 @@ func main() {
 		listPasses(passes)
 		return
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "hypertap-vet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	loader, err := analysis.NewLoader(".", patterns...)
@@ -61,9 +73,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hypertap-vet:", err)
 		os.Exit(2)
 	}
-	findings := analysis.Run(pkgs, passes)
+	findings := analysis.Run(loader.NewProgram(pkgs), passes)
 
-	if *jsonOut {
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "hypertap-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "hypertap-vet: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+	var staleEntries []analysis.BaselineEntry
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hypertap-vet:", err)
+			os.Exit(2)
+		}
+		findings, staleEntries = base.Apply(findings)
+	}
+
+	switch {
+	case *jsonOut:
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{
@@ -74,22 +105,34 @@ func main() {
 				Message: f.Msg,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "hypertap-vet:", err)
-			os.Exit(2)
-		}
-	} else {
+		emitJSON(out)
+	case *sarifOut:
+		wd, _ := os.Getwd()
+		emitJSON(analysis.ToSARIF(findings, passes, wd))
+	default:
 		for _, f := range findings {
 			fmt.Printf("%s:%d: [%s] %s\n", relPath(f.Pos.Filename), f.Pos.Line, f.Pass, f.Msg)
 		}
 	}
-	if len(findings) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "hypertap-vet: %d finding(s)\n", len(findings))
+	for _, e := range staleEntries {
+		fmt.Fprintf(os.Stderr, "hypertap-vet: stale baseline entry: %s [%s] %s (the accepted finding is gone — remove the entry)\n",
+			e.File, e.Pass, e.Message)
+	}
+	if len(findings)+len(staleEntries) > 0 {
+		if !*jsonOut && !*sarifOut {
+			fmt.Fprintf(os.Stderr, "hypertap-vet: %d finding(s), %d stale baseline entr(ies)\n", len(findings), len(staleEntries))
 		}
 		os.Exit(1)
+	}
+}
+
+// emitJSON renders v to stdout, indented.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "hypertap-vet:", err)
+		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// allocproof is deliberately absent from the golden corpus: its messages
+// quote compiler diagnostics, which vary with the toolchain. These tests
+// assert the stable facts instead — which functions are charged, not the
+// compiler's prose.
+
+// loadFixtureProgram loads one fixture directory as a single-package
+// program under importPath.
+func loadFixtureProgram(t *testing.T, fixture, importPath string) *Program {
+	t.Helper()
+	l := fixtureLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return l.NewProgram([]*Package{pkg})
+}
+
+// TestAllocProofFlagsHotpathEscape pins the pass's two scoping decisions:
+// the hotpath-marked escape is a finding, the identical unmarked one is not.
+func TestAllocProofFlagsHotpathEscape(t *testing.T) {
+	findings := AllocProof{}.CheckProgram(loadFixtureProgram(t, "allocproof_bad", "hypertap/internal/allocfixture"))
+	if len(findings) == 0 {
+		t.Fatal("expected at least one finding for the hotpath escape, got none")
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Msg, "hot-path func escapes") {
+			t.Errorf("finding charged to the wrong function: %s", f.Msg)
+		}
+		if strings.Contains(f.Msg, "cold") {
+			t.Errorf("unmarked function cold must not be charged: %s", f.Msg)
+		}
+	}
+}
+
+// TestAllocProofAcceptsCleanHotpath proves the absence side: a hotpath
+// function with no escapes yields no findings.
+func TestAllocProofAcceptsCleanHotpath(t *testing.T) {
+	findings := AllocProof{}.CheckProgram(loadFixtureProgram(t, "allocproof_clean", "hypertap/internal/allocfixture"))
+	if len(findings) != 0 {
+		t.Fatalf("expected no findings for the allocation-free hotpath, got %v", findings)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 )
 
@@ -54,15 +55,30 @@ type Package struct {
 	dirs *directiveSet
 }
 
-// Pass is one invariant checker.
+// Pass is one invariant checker: either a PackagePass (per-package AST
+// inspection) or a ProgramPass (whole-program call-graph / dataflow /
+// toolchain analysis). Suppression by escape comments is the framework's
+// job; passes report every violation they see.
 type Pass interface {
 	// Name is the short pass name used in findings and escape comments.
 	Name() string
 	// Doc is a one-paragraph rationale: the invariant enforced and why.
 	Doc() string
-	// Check reports violations in pkg. Suppression by escape comments is
-	// the framework's job; passes report every violation they see.
+}
+
+// PackagePass inspects one type-checked package at a time.
+type PackagePass interface {
+	Pass
+	// Check reports violations in pkg.
 	Check(pkg *Package) []Finding
+}
+
+// ProgramPass sees every loaded package at once, plus the call graph and
+// toolchain artifacts the Program carries.
+type ProgramPass interface {
+	Pass
+	// CheckProgram reports violations anywhere in the program.
+	CheckProgram(prog *Program) []Finding
 }
 
 // directives parses (once) and returns the package's directive set.
@@ -73,26 +89,53 @@ func (p *Package) directives(known map[string]bool) *directiveSet {
 	return p.dirs
 }
 
-// Run applies every pass to every package, drops findings suppressed by
-// `//hypertap:allow` directives, appends directive-misuse findings, and
-// returns the result sorted by position.
-func Run(pkgs []*Package, passes []Pass) []Finding {
+// Run applies every pass to the program, drops findings suppressed by
+// `//hypertap:allow` directives, appends directive-misuse findings and
+// stale-allow findings (an allow that suppressed nothing is itself a
+// violation — the escape has rotted), and returns the result sorted by
+// position.
+func Run(prog *Program, passes []Pass) []Finding {
 	known := make(map[string]bool, len(passes))
 	for _, p := range passes {
 		known[p.Name()] = true
 	}
-	var out []Finding
-	for _, pkg := range pkgs {
-		dirs := pkg.directives(known)
-		for _, pass := range passes {
-			for _, f := range pass.Check(pkg) {
-				if dirs.allows(pass.Name(), f.Pos) {
-					continue
-				}
-				out = append(out, f)
+	// Findings route to the directive set of the package that owns their
+	// file; program passes may report into any loaded package.
+	dirsByPkg := make(map[*Package]*directiveSet, len(prog.Pkgs))
+	dirOf := func(filename string) *directiveSet {
+		for _, pkg := range prog.Pkgs {
+			if d := dirsByPkg[pkg]; d != nil && d.ownsFile(filename) {
+				return d
 			}
 		}
-		out = append(out, dirs.misuse...)
+		return nil
+	}
+	for _, pkg := range prog.Pkgs {
+		dirsByPkg[pkg] = pkg.directives(known)
+	}
+	var out []Finding
+	keep := func(pass string, fs []Finding) {
+		for _, f := range fs {
+			if d := dirOf(f.Pos.Filename); d != nil && d.allows(pass, f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	for _, pass := range passes {
+		switch p := pass.(type) {
+		case PackagePass:
+			for _, pkg := range prog.Pkgs {
+				keep(pass.Name(), p.Check(pkg))
+			}
+		case ProgramPass:
+			keep(pass.Name(), p.CheckProgram(prog))
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		d := dirsByPkg[pkg]
+		out = append(out, d.misuse...)
+		out = append(out, d.stale()...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -127,4 +170,10 @@ func objPkgPath(obj types.Object) string {
 		return ""
 	}
 	return obj.Pkg().Path()
+}
+
+// shortPos renders a position as basename:line — the form embedded in
+// finding messages, so baselines and goldens stay checkout-independent.
+func shortPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
 }

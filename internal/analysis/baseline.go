@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The suppression baseline: a checked-in JSON list of accepted findings.
+// Inline //hypertap:allow comments are the right escape for AST-level
+// findings — the justification sits at the violation site and goes stale
+// loudly (the stale-allow check). Findings whose *messages* depend on the
+// toolchain (allocproof's compiler diagnostics) would need re-annotated
+// source on every compiler bump, so they live here instead: entries match
+// on (file, pass, message), unmatched entries are reported as stale, and
+// -write-baseline regenerates the file for review in the diff.
+
+// BaselineEntry identifies one accepted finding. Line numbers are
+// deliberately absent: unrelated edits above a finding must not invalidate
+// its acceptance, and a moved finding with the same message is the same
+// finding.
+type BaselineEntry struct {
+	// File is the repo-relative (slash-separated) path.
+	File string `json:"file"`
+	// Pass is the reporting pass.
+	Pass string `json:"pass"`
+	// Message is the finding's full message.
+	Message string `json:"message"`
+	// Reason records why this finding is accepted.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Baseline is a loaded suppression set.
+type Baseline struct {
+	// Entries in file order.
+	Entries []BaselineEntry `json:"findings"`
+	// root anchors relative entry paths.
+	root string
+}
+
+// baselineKey is the match identity.
+type baselineKey struct {
+	file, pass, msg string
+}
+
+func (b *Baseline) key(e BaselineEntry) baselineKey {
+	return baselineKey{filepath.ToSlash(e.File), e.Pass, e.Message}
+}
+
+// LoadBaseline reads path; entry paths resolve relative to path's directory.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{root: absDir(path)}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// Apply partitions findings against the baseline: kept are the findings the
+// baseline does not cover; stale are baseline entries that matched nothing —
+// the accepted violation is gone and the entry must be removed, the same
+// contract stale inline allows have.
+func (b *Baseline) Apply(findings []Finding) (kept []Finding, stale []BaselineEntry) {
+	matched := make(map[baselineKey]bool, len(b.Entries))
+	index := make(map[baselineKey]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		index[b.key(e)] = true
+	}
+	for _, f := range findings {
+		k := baselineKey{b.relFile(f.Pos.Filename), f.Pass, f.Msg}
+		if index[k] {
+			matched[k] = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, e := range b.Entries {
+		if !matched[b.key(e)] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}
+
+// absDir resolves the directory holding path to an absolute root, so entry
+// paths relativize even when the baseline path itself was given relative.
+func absDir(path string) string {
+	dir := filepath.Dir(path)
+	if abs, err := filepath.Abs(dir); err == nil {
+		return abs
+	}
+	return dir
+}
+
+// relFile renders a finding path relative to the baseline root.
+func (b *Baseline) relFile(path string) string {
+	if rel, err := filepath.Rel(b.root, path); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+// WriteBaseline renders findings as a baseline file rooted at root. Reasons
+// start empty — they are for humans to fill in during review.
+func WriteBaseline(path string, findings []Finding) error {
+	b := &Baseline{root: absDir(path)}
+	for _, f := range findings {
+		b.Entries = append(b.Entries, BaselineEntry{
+			File:    b.relFile(f.Pos.Filename),
+			Pass:    f.Pass,
+			Message: f.Msg,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Pass != c.Pass {
+			return a.Pass < c.Pass
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

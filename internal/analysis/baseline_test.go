@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestBaselineRoundTrip is the negative fixture for the baseline mechanism:
+// real findings from a violation fixture are written out as a baseline,
+// loaded back, and must suppress exactly themselves — zero kept, zero
+// stale. Then one violation "disappears" (its finding is dropped from the
+// input) and the corresponding entry must surface as stale rather than
+// silently lingering.
+func TestBaselineRoundTrip(t *testing.T) {
+	prog := loadFixtureProgram(t, "lockdiscipline_bad", "hypertap/internal/core")
+	findings := LockDiscipline{}.CheckProgram(prog)
+	if len(findings) < 2 {
+		t.Fatalf("fixture should produce at least two findings, got %d", len(findings))
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("loading baseline: %v", err)
+	}
+
+	kept, stale := b.Apply(findings)
+	if len(kept) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip must suppress everything: kept=%d stale=%d", len(kept), len(stale))
+	}
+
+	// A fixed violation leaves its entry matching nothing: stale, loudly.
+	kept, stale = b.Apply(findings[1:])
+	if len(kept) != 0 {
+		t.Fatalf("remaining findings must still be suppressed, kept=%d", len(kept))
+	}
+	if len(stale) != 1 {
+		t.Fatalf("the fixed finding's entry must go stale, stale=%d", len(stale))
+	}
+	if stale[0].Pass != findings[0].Pass {
+		t.Errorf("stale entry pass = %q, want %q", stale[0].Pass, findings[0].Pass)
+	}
+
+	// Entry paths must be relative to the baseline file, never absolute —
+	// a checked-in baseline has to survive a different checkout root.
+	if filepath.IsAbs(b.Entries[0].File) {
+		t.Errorf("baseline entry path is absolute: %s", b.Entries[0].File)
+	}
+}
+
+// TestBaselineUnrelatedFindingKept pins the partition: a finding the
+// baseline does not cover passes through untouched.
+func TestBaselineUnrelatedFindingKept(t *testing.T) {
+	prog := loadFixtureProgram(t, "lockdiscipline_bad", "hypertap/internal/core")
+	findings := LockDiscipline{}.CheckProgram(prog)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, findings[:1]); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, stale := b.Apply(findings)
+	if len(kept) != len(findings)-1 {
+		t.Fatalf("kept = %d, want %d", len(kept), len(findings)-1)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %d, want 0", len(stale))
+	}
+}

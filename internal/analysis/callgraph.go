@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The call graph: static (direct) call edges between the functions declared
+// in the loaded packages. It is deliberately SSA-free — edges come from
+// identifier resolution, so calls through function values, interface
+// methods, and deferred closures are not edges. Passes that traverse the
+// graph therefore under-approximate reachability and say so in their docs;
+// for this codebase's invariants (what runs while the EM lock is held, where
+// a campaign seed flows) the direct graph is the load-bearing part, and the
+// dynamic call sites that matter (auditor HandleEvent fan-out) are pinned by
+// their own passes instead.
+
+// FuncNode is one declared function or method in the program.
+type FuncNode struct {
+	// Fn is the type-checker's identity for the function.
+	Fn *types.Func
+	// Decl is the declaration, body included.
+	Decl *ast.FuncDecl
+	// Pkg is the declaring package.
+	Pkg *Package
+	// Calls are the static call sites inside Decl.Body, in source order.
+	Calls []CallSite
+	// Callers are the static call sites that target this function.
+	Callers []CallSite
+}
+
+// CallSite is one static call edge.
+type CallSite struct {
+	Caller *FuncNode
+	Callee *FuncNode
+	// Call is the call expression at the site.
+	Call *ast.CallExpr
+}
+
+// CallGraph indexes FuncNodes by their type-checker identity.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+}
+
+// NodeOf returns the node for fn, or nil when fn is not declared in the
+// loaded packages (stdlib, export-data-only dependencies).
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// buildCallGraph constructs the graph over every loaded package.
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	// Declarations first, so cross-package edges resolve regardless of
+	// package order.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.nodes[fn] = &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+	for _, node := range g.nodes {
+		n := node
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(n.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			target := g.nodes[callee]
+			if target == nil {
+				return true
+			}
+			site := CallSite{Caller: n, Callee: target, Call: call}
+			n.Calls = append(n.Calls, site)
+			target.Callers = append(target.Callers, site)
+			return true
+		})
+	}
+	return g
+}
+
+// calleeFunc resolves a call expression to its static callee, or nil for
+// calls through function values, builtins, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return usedFunc(info, fun)
+	case *ast.SelectorExpr:
+		return usedFunc(info, fun.Sel)
+	}
+	return nil
+}
+
+// enclosingFunc returns the function declaration whose body contains pos,
+// or nil.
+func enclosingFunc(pkg *Package, pos ast.Node) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		if f.Pos() > pos.Pos() || f.End() < pos.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Pos() <= pos.Pos() && pos.End() <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -38,37 +38,83 @@ type allowKey struct {
 	pass string
 }
 
+// allowRec is one parsed allow directive. used flips when the directive
+// suppresses a finding; a directive that never does is itself reported —
+// the escape it once justified has rotted away, and keeping it would let a
+// future regression land pre-suppressed.
+type allowRec struct {
+	pos  token.Position
+	used bool
+}
+
 // directiveSet is the parsed directives of one package.
 type directiveSet struct {
 	// line holds line-scoped allows: a finding for pass P at file:L is
-	// suppressed by an allow at L or L-1.
-	line map[allowKey]bool
+	// suppressed by an allow at L or L-1, and only for the named pass —
+	// other passes' findings on the same line stay reported.
+	line map[allowKey]*allowRec
 	// file holds file-scoped allows keyed by filename then pass.
-	file map[string]map[string]bool
+	file map[string]map[string]*allowRec
+	// files is the set of filenames belonging to this package.
+	files map[string]bool
 	// misuse collects malformed-directive findings.
 	misuse []Finding
 	// known is the valid pass-name set allow targets are checked against.
 	known map[string]bool
 }
 
-// allows reports whether a finding of pass at pos is suppressed.
+// allows reports whether a finding of pass at pos is suppressed, marking the
+// consumed directive used.
 func (d *directiveSet) allows(pass string, pos token.Position) bool {
-	if d.file[pos.Filename][pass] {
+	if rec := d.file[pos.Filename][pass]; rec != nil {
+		rec.used = true
 		return true
 	}
-	return d.line[allowKey{pos.Filename, pos.Line, pass}] ||
-		d.line[allowKey{pos.Filename, pos.Line - 1, pass}]
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if rec := d.line[allowKey{pos.Filename, line, pass}]; rec != nil {
+			rec.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// ownsFile reports whether filename is one of this package's files.
+func (d *directiveSet) ownsFile(filename string) bool { return d.files[filename] }
+
+// stale returns one finding per allow directive that suppressed nothing.
+func (d *directiveSet) stale() []Finding {
+	var out []Finding
+	report := func(rec *allowRec, scope, pass string) {
+		if rec.used {
+			return
+		}
+		out = append(out, Finding{Pos: rec.pos, Pass: DirectivePass,
+			Msg: "hypertap:" + scope + " " + pass + " suppresses nothing — the escape is stale; " +
+				"remove the directive (or it will hide the next real " + pass + " violation here)"})
+	}
+	for key, rec := range d.line {
+		report(rec, "allow", key.pass)
+	}
+	for _, byPass := range d.file {
+		for pass, rec := range byPass {
+			report(rec, "allow-file", pass)
+		}
+	}
+	return out
 }
 
 // parseDirectives scans every comment of every file in pkg. known is the
 // set of valid pass names for validating allow targets.
 func parseDirectives(pkg *Package, known map[string]bool) *directiveSet {
 	d := &directiveSet{
-		line:  make(map[allowKey]bool),
-		file:  make(map[string]map[string]bool),
+		line:  make(map[allowKey]*allowRec),
+		file:  make(map[string]map[string]*allowRec),
+		files: make(map[string]bool, len(pkg.Files)),
 		known: known,
 	}
 	for _, f := range pkg.Files {
+		d.files[pkg.Fset.Position(f.Pos()).Filename] = true
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				d.parseComment(pkg, c)
@@ -107,11 +153,11 @@ func (d *directiveSet) parseComment(pkg *Package, c *ast.Comment) {
 		}
 		if verb == "allow-file" {
 			if d.file[pos.Filename] == nil {
-				d.file[pos.Filename] = make(map[string]bool)
+				d.file[pos.Filename] = make(map[string]*allowRec)
 			}
-			d.file[pos.Filename][pass] = true
+			d.file[pos.Filename][pass] = &allowRec{pos: pos}
 		} else {
-			d.line[allowKey{pos.Filename, pos.Line, pass}] = true
+			d.line[allowKey{pos.Filename, pos.Line, pass}] = &allowRec{pos: pos}
 		}
 	default:
 		d.fail(pos, "unknown directive hypertap:%s (known: allow, allow-file, hotpath)", verb)

@@ -1,6 +1,7 @@
 package analysis
 
-// AllPasses returns every hypertap-vet pass, in report order.
+// AllPasses returns every hypertap-vet pass, in report order: the five
+// per-package AST passes, then the four whole-program verifiers.
 func AllPasses() []Pass {
 	return []Pass{
 		Wallclock{},
@@ -8,5 +9,9 @@ func AllPasses() []Pass {
 		EventsOnly{},
 		Hotpath{},
 		HotpathTrace{},
+		LockDiscipline{},
+		AllocProof{},
+		SeedFlow{},
+		VMIsolation{},
 	}
 }

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Minimal SARIF 2.1.0 rendering so CI can upload findings to code scanning
+// and reviewers see them inline on the PR diff. Only the fields that carry
+// information are emitted; everything is plain structs marshaled by the
+// caller, no schema dependency.
+
+// SarifLog is the document root.
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+// SarifRun is one tool invocation.
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+// SarifTool identifies hypertap-vet and its rules (one per pass).
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+// SarifDriver is the tool component.
+type SarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SarifRule `json:"rules"`
+}
+
+// SarifRule documents one pass.
+type SarifRule struct {
+	ID               string        `json:"id"`
+	ShortDescription SarifMessage  `json:"shortDescription"`
+	FullDescription  *SarifMessage `json:"fullDescription,omitempty"`
+}
+
+// SarifMessage is SARIF's text wrapper.
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+// SarifResult is one finding.
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+// SarifLocation is a physical file/region reference.
+type SarifLocation struct {
+	PhysicalLocation SarifPhysicalLocation `json:"physicalLocation"`
+}
+
+// SarifPhysicalLocation pairs an artifact with a region.
+type SarifPhysicalLocation struct {
+	ArtifactLocation SarifArtifactLocation `json:"artifactLocation"`
+	Region           SarifRegion           `json:"region"`
+}
+
+// SarifArtifactLocation is a repo-relative URI.
+type SarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SarifRegion is a 1-based position.
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ToSARIF renders findings as one SARIF run. root anchors the relative
+// artifact URIs (pass the repo root so code-scanning matches paths).
+func ToSARIF(findings []Finding, passes []Pass, root string) SarifLog {
+	rules := make([]SarifRule, 0, len(passes)+1)
+	for _, p := range passes {
+		rules = append(rules, SarifRule{
+			ID:               p.Name(),
+			ShortDescription: SarifMessage{Text: p.Name()},
+			FullDescription:  &SarifMessage{Text: p.Doc()},
+		})
+	}
+	rules = append(rules, SarifRule{
+		ID:               DirectivePass,
+		ShortDescription: SarifMessage{Text: "malformed or stale //hypertap: directives"},
+	})
+	results := make([]SarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		results = append(results, SarifResult{
+			RuleID:  f.Pass,
+			Level:   "error",
+			Message: SarifMessage{Text: f.Msg},
+			Locations: []SarifLocation{{
+				PhysicalLocation: SarifPhysicalLocation{
+					ArtifactLocation: SarifArtifactLocation{URI: filepath.ToSlash(uri)},
+					Region:           SarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	return SarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []SarifRun{{
+			Tool:    SarifTool{Driver: SarifDriver{Name: "hypertap-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}

@@ -1,0 +1,14 @@
+// Package fixture is the allocation-free counterpart: the hotpath-marked
+// function only reads and sums, so the escape analysis must come back empty.
+package fixture
+
+// sum is hotpath-marked and allocation-free on every branch.
+//
+//hypertap:hotpath
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,34 @@
+// Package fixture exercises seed provenance: loaded under the experiment
+// import path, every rand.NewSource argument must trace to configuration.
+// The literal and wall-clock constructions are direct violations; unitRNG
+// shows the interprocedural chase — the helper itself is innocent, the
+// caller handing it a literal is the finding; fromConfig pins the clean
+// shape (a config field) at zero findings.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config carries the campaign seed, the one sanctioned origin.
+type Config struct{ Seed int64 }
+
+// literalSeed collapses every campaign onto one trajectory.
+func literalSeed() *rand.Rand { return rand.New(rand.NewSource(1234)) }
+
+// clockSeed breaks same-config-same-run; the wallclock pass flags the
+// time.Now call itself, seedflow flags what the value is used for.
+func clockSeed() *rand.Rand { return rand.New(rand.NewSource(time.Now().UnixNano())) }
+
+// unitRNG derives a per-unit stream from the campaign seed. The pass judges
+// it by its callers: campaign below passes a literal.
+func unitRNG(seed int64, unit int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(unit)*1000003))
+}
+
+// campaign hands unitRNG a hard-coded seed.
+func campaign() *rand.Rand { return unitRNG(99, 3) }
+
+// fromConfig threads the seed from configuration: no finding.
+func fromConfig(cfg Config) *rand.Rand { return rand.New(rand.NewSource(cfg.Seed)) }

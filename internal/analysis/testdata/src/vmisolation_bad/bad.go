@@ -1,0 +1,43 @@
+// Package fixture exercises the VM-confinement rules under an auditors/
+// import path with no VMScope declaration: confinement is the default.
+// Reaching for the host wiring, building an introspector, and keying state
+// by Event.VM are each findings; the equality check is the one sanctioned
+// Event.VM read.
+package fixture
+
+import (
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+	"hypertap/internal/host"
+	"hypertap/internal/vmi"
+)
+
+// auditor is VM-scoped by default: it declares no VMScope method.
+type auditor struct {
+	self  core.VMID
+	perVM map[core.VMID]uint64
+	seen  uint64
+}
+
+// reach takes the fleet map by the hand: naming host.Host at all is the
+// finding — an auditor holding the host can read any VM it likes.
+func reach(h *host.Host) int { return h.NumVMs() }
+
+// build constructs its own introspector instead of receiving the injected,
+// VM-bound one (the Symbols argument is simulator truth eventsonly flags
+// independently — building a VMI view needs exactly what auditors must not
+// hold).
+func build() *vmi.Introspector { return vmi.New(nil, guest.Symbols{}) }
+
+// tally keys per-VM state by Event.VM: cross-VM aggregation in a VM-scoped
+// package (both the selector rule and the VMID-index rule fire here).
+func (a *auditor) tally(ev *core.Event) {
+	a.perVM[ev.VM]++
+}
+
+// filter is the sanctioned shape: Event.VM as an equality operand only.
+func (a *auditor) filter(ev *core.Event) {
+	if ev.VM == a.self {
+		a.seen++
+	}
+}

@@ -1,0 +1,21 @@
+// Package fixture is a sanctioned cross-VM accountant: its VMScope method
+// returns core.ScopeFleet(), so keying state by Event.VM and by core.VMID
+// is its job, not a confinement break. The structural rules (host
+// reach-through, vmi.New) would still apply — this fixture stays clear of
+// them and must produce zero findings.
+package fixture
+
+import "hypertap/internal/core"
+
+// accountant tallies events per VM across the whole host.
+type accountant struct {
+	counts map[core.VMID]uint64
+}
+
+// VMScope declares the fleet scope — the explicit opt-in the pass honors.
+func (a *accountant) VMScope() core.VMScope { return core.ScopeFleet() }
+
+// tally is exactly the shape vmisolation_bad gets flagged for.
+func (a *accountant) tally(ev *core.Event) {
+	a.counts[ev.VM]++
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// VMIsolation is the fleet plane's confinement rule as a compile gate: an
+// auditor subscribed to one VM may only read that VM's state. The scoped
+// routing table already guarantees it only *receives* its own VM's events;
+// this pass closes the reads the router cannot see:
+//
+//   - reaching into internal/host at all — the host wiring owns the fleet
+//     map, and an auditor holding it can read any VM it likes;
+//   - constructing a vmi.Introspector (vmi.New) instead of receiving one
+//     injected at wiring time, already bound to the auditor's VM view;
+//   - in a VM-scoped package, using Event.VM for anything but an equality
+//     check — indexing per-VM state by Event.VM, converting it to an index,
+//     or storing it is how cross-VM aggregation starts;
+//   - in a VM-scoped package, indexing anything with a core.VMID-typed
+//     expression.
+//
+// A package that declares the fleet scope — some type's VMScope method
+// returns core.ScopeFleet() — is a sanctioned cross-VM accountant
+// (fleetwatch); the two VM-scoped rules do not apply there, the two
+// structural ones still do. A package with no VMScope method at all is
+// treated as VM-scoped: confinement is the default, fleet sight is the
+// exception a type must declare.
+type VMIsolation struct{}
+
+// Name implements Pass.
+func (VMIsolation) Name() string { return "vmisolation" }
+
+// Doc implements Pass.
+func (VMIsolation) Doc() string {
+	return "auditors read only their subscribed VM's state: no internal/host reach-through, no self-built introspectors, and — unless the package declares the fleet scope — no Event.VM use beyond equality checks and no VMID-keyed indexing"
+}
+
+// hostPkgPath is the fleet-wiring package auditors must never touch.
+const hostPkgPath = "hypertap/internal/host"
+
+// vmiPkgPath is the introspection package whose constructor is wiring-only.
+const vmiPkgPath = "hypertap/internal/vmi"
+
+// CheckProgram implements ProgramPass.
+func (VMIsolation) CheckProgram(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		if !isAuditorPkg(pkg.ImportPath) {
+			continue
+		}
+		fleetScoped := declaresFleetScope(pkg)
+		for _, f := range pkg.Files {
+			out = append(out, checkAuditorFile(pkg, f, fleetScoped)...)
+		}
+	}
+	return out
+}
+
+// isAuditorPkg matches the auditor tree (reusing eventsonly's prefix).
+func isAuditorPkg(importPath string) bool {
+	return len(importPath) > len(auditorPrefix) && importPath[:len(auditorPrefix)] == auditorPrefix
+}
+
+// declaresFleetScope reports whether any VMScope method in pkg returns
+// core.ScopeFleet() — the explicit opt-in to cross-VM sight.
+func declaresFleetScope(pkg *Package) bool {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "VMScope" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fleet := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := calleeFunc(pkg.Info, call); fn != nil &&
+					fn.Name() == "ScopeFleet" && objPkgPath(fn) == "hypertap/internal/core" {
+					fleet = true
+				}
+				return true
+			})
+			if fleet {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkAuditorFile applies the four rules to one file.
+func checkAuditorFile(pkg *Package, f *ast.File, fleetScoped bool) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Finding{Pos: pkg.Fset.Position(pos), Pass: "vmisolation", Msg: msg})
+	}
+
+	// Event.VM selectors sanctioned by being an ==/!= operand.
+	compared := map[ast.Expr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if sel, ok := ast.Unparen(side).(*ast.SelectorExpr); ok && isEventVM(pkg.Info, sel) {
+				compared[sel] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			obj, ok := pkg.Info.Uses[x]
+			if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			if objPkgPath(obj) == hostPkgPath {
+				report(x.Pos(), "auditor reaches through to internal/host ("+obj.Name()+
+					"): the host map is fleet-wide state — auditors see one VM, through events and their injected view")
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg.Info, x); fn != nil &&
+				objPkgPath(fn) == vmiPkgPath && fn.Name() == "New" {
+				report(x.Pos(), "auditor constructs its own introspector (vmi.New): introspectors are "+
+					"injected at wiring time, bound to the auditor's subscribed VM — building one here can aim at any VM's memory")
+			}
+		case *ast.SelectorExpr:
+			if fleetScoped || !isEventVM(pkg.Info, x) || compared[x] {
+				return true
+			}
+			report(x.Pos(), "VM-scoped auditor uses Event.VM beyond an equality check: the routed stream "+
+				"already carries only the subscribed VM — keying state by Event.VM is how cross-VM reads start "+
+				"(declare the fleet scope via VMScope() returning core.ScopeFleet() if this auditor is a sanctioned accountant)")
+		case *ast.IndexExpr:
+			if fleetScoped {
+				return true
+			}
+			if vmPos := vmidTypedWithin(pkg.Info, x.Index); vmPos.IsValid() {
+				report(vmPos, "VM-scoped auditor indexes state by a core.VMID: per-VM maps belong to "+
+					"fleet-scoped accountants (VMScope() returning core.ScopeFleet()), not to auditors confined to one VM")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isEventVM matches a selection of field VM on core.Event (or *core.Event).
+func isEventVM(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || sel.Sel.Name != "VM" {
+		return false
+	}
+	named, ok := deref(s.Recv()).(*types.Named)
+	return ok && named.Obj().Name() == "Event" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "hypertap/internal/core"
+}
+
+// vmidTypedWithin returns the position of the first core.VMID-typed
+// expression inside e (looking through conversions and arithmetic), or
+// token.NoPos.
+func vmidTypedWithin(info *types.Info, e ast.Expr) token.Pos {
+	found := token.NoPos
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(expr)
+		if t == nil {
+			return true
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "VMID" &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "hypertap/internal/core" {
+			found = expr.Pos()
+			return false
+		}
+		return true
+	})
+	return found
+}
