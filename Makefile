@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet bench-trace
+.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet bench-trace bench-replay fuzz
 
 all: build
 
@@ -38,16 +38,18 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/telemetry/... ./internal/experiment/... ./internal/hv/... ./internal/host/...
+	$(GO) test -race -short ./internal/core/... ./internal/telemetry/... ./internal/experiment/... ./internal/hv/... ./internal/host/... ./internal/capture/...
 
 # The equivalence suites: serial≡parallel for the sharded campaign engine
-# (including fleet campaigns whose unit is an N-VM host), and N-VM-host ≡
-# N-isolated-VMs for the host fleet plane. GOMAXPROCS=4 forces real
-# scheduling interleavings even on small runners, and -race turns any
+# (including fleet campaigns whose unit is an N-VM host), N-VM-host ≡
+# N-isolated-VMs for the host fleet plane, and capture→replay ≡ live for the
+# exit-stream record/replay plane (solo and 8-VM fleet). GOMAXPROCS=4 forces
+# real scheduling interleavings even on small runners, and -race turns any
 # unserialized progress/telemetry access into a failure.
 equivalence:
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestParallelMatchesSerial|TestShowdownUnitIsolation|TestFleetCampaignParallelMatchesSerial' ./internal/experiment ./internal/experiment/runner
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestFleetEquivalence|TestFleetSharedRHC' ./internal/host
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestSoloReplayEquivalence|TestFleetReplayEquivalence|TestReplayDeterminism' ./internal/capture
 
 # Compile and run every benchmark exactly once, so a broken benchmark is a
 # gate failure rather than a surprise at measurement time.
@@ -79,3 +81,19 @@ bench-trace:
 # async, with the single-VM baseline embedded.
 bench-fleet:
 	$(GO) run ./cmd/hotpath-bench -fleet-only -fleet-out results/BENCH_fleet.json
+
+# Regenerate the exit-stream replay throughput numbers (see
+# results/BENCH_replay.json): a generated million-event capture replayed
+# bare (decode floor) and through the full fleet auditor plane.
+bench-replay:
+	$(GO) run ./cmd/hotpath-bench -replay-only -replay-out results/BENCH_replay.json
+
+# Coverage-guided fuzzing of the replay plane: mutated captures through the
+# full auditor wiring, hunting panics, parser over-acceptance, and
+# determinism violations (each input replays twice and must match).
+# -fuzzminimizetime is bounded because minimization of each new interesting
+# input otherwise dominates the whole budget on small runners. Crashers land
+# in internal/capture/testdata/fuzz/; minimized ones get promoted into
+# internal/capture/testdata/corpus/ as permanent regressions.
+fuzz:
+	$(GO) test ./internal/capture/ -run '^$$' -fuzz FuzzReplay -fuzztime 60s -fuzzminimizetime 5s

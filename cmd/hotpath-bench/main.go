@@ -20,6 +20,9 @@
 //   - trace (written separately to -trace-out): the flight recorder's
 //     capture overhead on the 3-sync-auditor publish path, off vs on vs
 //     on-with-spans — the ≤5% budget of the tracing plane.
+//   - replay (written separately to -replay-out): exit-stream replay
+//     throughput over a generated million-event capture, bare decode vs the
+//     full fleet auditor plane — the cost of re-judging an incident bundle.
 //
 // -cpuprofile/-memprofile wrap the whole run in a pprof capture so the next
 // perf PR starts from a profile instead of a guess. -baseline embeds a
@@ -108,6 +111,9 @@ func run() error {
 		fleetOnly  = flag.Bool("fleet-only", false, "run only the fleet scaling section")
 		traceOut   = flag.String("trace-out", "", "write the tracing-plane overhead report here (default stdout)")
 		traceOnly  = flag.Bool("trace-only", false, "run only the tracing-plane overhead section")
+		replayOut  = flag.String("replay-out", "", "write the exit-stream replay report here (default stdout)")
+		replayOnly = flag.Bool("replay-only", false, "run only the exit-stream replay section")
+		replayEvs  = flag.Int("replay-events", 1_000_000, "event count for the generated replay capture")
 	)
 	flag.Parse()
 	if counts, err := parseVMCounts(*vms); err != nil {
@@ -120,6 +126,9 @@ func run() error {
 	}
 	if *traceOnly {
 		return runTraceBench(*traceOut)
+	}
+	if *replayOnly {
+		return runReplayBench(*replayOut, *seed, *replayEvs)
 	}
 
 	if *cpuprofile != "" {
@@ -168,10 +177,16 @@ func run() error {
 		rep.Campaigns = camps
 	}
 
-	// The fleet scaling section has its own report file; without a
-	// destination it only runs under -fleet-only (which streams to stdout).
+	// The fleet scaling and replay sections have their own report files;
+	// without a destination they only run under -fleet-only / -replay-only
+	// (which stream to stdout).
 	if *fleetOut != "" {
 		if err := runFleetBench(*fleetOut); err != nil {
+			return err
+		}
+	}
+	if *replayOut != "" {
+		if err := runReplayBench(*replayOut, *seed, *replayEvs); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hypertap/internal/auditors/fleetwatch"
+	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/capture"
+	"hypertap/internal/core"
+)
+
+// replayRun is one replay-bench cell: a full pass over the generated capture
+// in one wiring mode.
+type replayRun struct {
+	Mode           string  `json:"mode"`
+	Passes         int     `json:"passes"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// replayReport is the replay-bench JSON (results/BENCH_replay.json).
+type replayReport struct {
+	Description  string      `json:"description"`
+	Host         hostInfo    `json:"host"`
+	Seed         int64       `json:"seed"`
+	Events       int         `json:"events"`
+	VMs          int         `json:"vms"`
+	CaptureBytes int         `json:"capture_bytes"`
+	BytesPerEv   float64     `json:"bytes_per_event"`
+	GenerateSecs float64     `json:"generate_seconds"`
+	Runs         []replayRun `json:"runs"`
+}
+
+// replayBenchVMs sizes the generated capture like the fleet campaigns.
+const replayBenchVMs = 8
+
+// runReplayBench generates a large synthetic capture (capture.Generate, so
+// nothing big is checked in) and times full replay passes over it in two
+// wirings: decode — the raw parse-publish-tick schedule with no subscribers,
+// the format's floor — and auditors — the fleet detection plane (per-VM GOSHD
+// plus the fleet accountant) re-judging every event, the cost of re-running
+// an investigation from a bundle. Allocations are measured per event; the
+// decode path's figure is the one hypertap-vet's allocproof gate protects.
+func runReplayBench(out string, seed int64, events int) error {
+	start := time.Now()
+	data := capture.Generate(seed, replayBenchVMs, 4, events, time.Millisecond)
+	rep := replayReport{
+		Description:  "Exit-stream replay throughput. Regenerate with `make bench-replay`.",
+		Host:         currentHostInfo(),
+		Seed:         seed,
+		Events:       events,
+		VMs:          replayBenchVMs,
+		CaptureBytes: len(data),
+		BytesPerEv:   float64(len(data)) / float64(events),
+		GenerateSecs: time.Since(start).Seconds(),
+	}
+	fmt.Fprintf(os.Stderr, "generate %d events  %d bytes (%.1f B/event)  %.2fs\n",
+		events, len(data), rep.BytesPerEv, rep.GenerateSecs)
+
+	for _, mode := range []string{"decode", "auditors"} {
+		r, err := benchReplayMode(mode, data, events)
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, *r)
+		fmt.Fprintf(os.Stderr, "replay   %-8s  %8.1f ns/event  %12.0f events/s  %.3f allocs/event\n",
+			r.Mode, r.NsPerEvent, r.EventsPerSec, r.AllocsPerEvent)
+	}
+
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// benchReplayMode times repeated full passes over data. Each pass rebuilds
+// the replay plane from scratch — that is what a real bundle investigation
+// pays — but setup is a few VM attaches against a million events, noise.
+func benchReplayMode(mode string, data []byte, events int) (*replayRun, error) {
+	onePass := func() error {
+		rp, err := capture.NewReplay(bytes.NewReader(data), capture.ReplayConfig{})
+		if err != nil {
+			return err
+		}
+		if mode == "auditors" {
+			em := rp.EM()
+			hdr := rp.Header()
+			for j := range hdr.VMs {
+				det, err := goshd.New(goshd.Config{
+					VM:        core.VMID(j),
+					Clock:     rp.Clock(core.VMID(j)),
+					VCPUs:     hdr.VMs[j].VCPUs,
+					Threshold: 50 * time.Millisecond,
+				})
+				if err != nil {
+					return err
+				}
+				if err := em.RegisterAuditor(det, core.DeliverAsync, 0); err != nil {
+					return err
+				}
+				det.Start()
+			}
+			fw := fleetwatch.New(fleetwatch.Config{VMName: em.VMName})
+			if err := em.RegisterAuditor(fw, core.DeliverAsync, 1<<16); err != nil {
+				return err
+			}
+		}
+		return rp.Run()
+	}
+	// Warm pass: page the capture in, settle the allocator.
+	if err := onePass(); err != nil {
+		return nil, err
+	}
+	const passes = 3
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < passes; i++ {
+		if err := onePass(); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	total := float64(passes) * float64(events)
+	ns := float64(elapsed.Nanoseconds()) / total
+	return &replayRun{
+		Mode:           mode,
+		Passes:         passes,
+		NsPerEvent:     ns,
+		EventsPerSec:   1e9 / ns,
+		AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / total,
+	}, nil
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/capture"
 	"hypertap/internal/core"
 	"hypertap/internal/flight"
 	"hypertap/internal/guest"
@@ -26,6 +28,40 @@ import (
 	"hypertap/internal/trace"
 	"hypertap/internal/vclock"
 )
+
+// summarizeCapture tallies a bundle's recorded exit stream (capture.htcs):
+// per-VM event counts and the stream's virtual extent. A truncated tail is
+// normal — incident bundles snapshot the stream mid-run — so decoding stops
+// quietly at the cut.
+func summarizeCapture(data []byte) error {
+	rd, err := capture.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("capture stream: %w", err)
+	}
+	hdr := rd.Header()
+	events := make([]int64, len(hdr.VMs))
+	var extent time.Duration
+	var rec capture.Record
+	for {
+		if err := rd.Next(&rec); err != nil {
+			break
+		}
+		if capture.KindName(rec.Kind) == "event" {
+			if int(rec.Event.VM) < len(events) {
+				events[rec.Event.VM]++
+			}
+			if rec.Event.Time > extent {
+				extent = rec.Event.Time
+			}
+		}
+	}
+	fmt.Printf("  capture stream: %d bytes, %d VMs, virtual extent %v\n",
+		len(data), len(hdr.VMs), extent.Round(time.Millisecond))
+	for i, vm := range hdr.VMs {
+		fmt.Printf("    %-12s %d vCPUs  %8d events\n", vm.Name, vm.VCPUs, events[i])
+	}
+	return nil
+}
 
 // writeMetrics dumps the registry snapshot as indented JSON.
 func writeMetrics(dst string, reg *telemetry.Registry) error {
@@ -84,12 +120,10 @@ func run() error {
 	}
 	path := flag.Arg(0)
 
-	// An incident bundle is a directory; everything useful in it is already
-	// decoded, so the only analysis offered is the Chrome export.
+	// An incident bundle is a directory; everything in it is already decoded,
+	// so the analyses offered are the summary, the Chrome export, and — when
+	// the campaign recorded its exit stream — a tally of the capture.
 	if st, err := os.Stat(path); err == nil && st.IsDir() {
-		if *chromeTo == "" {
-			return fmt.Errorf("%s is an incident bundle; use -chrome-trace to export it", path)
-		}
 		b, err := flight.LoadBundle(path)
 		if err != nil {
 			return err
@@ -100,6 +134,15 @@ func run() error {
 		}
 		fmt.Printf("bundle %s: kind %s, %d exit records across %d rings, %d spans\n",
 			path, b.Meta.Kind, n, len(b.Exits), len(b.Spans))
+		if len(b.Capture) > 0 {
+			if err := summarizeCapture(b.Capture); err != nil {
+				return err
+			}
+			fmt.Printf("  replay the auditor plane from it: hypertap-capture replay -bundle %s\n", path)
+		}
+		if *chromeTo == "" {
+			return nil
+		}
 		return writeChrome(*chromeTo, func(w io.Writer) error { return flight.WriteChrome(w, b) })
 	}
 

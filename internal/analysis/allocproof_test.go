@@ -52,3 +52,21 @@ func TestAllocProofAcceptsCleanHotpath(t *testing.T) {
 		t.Fatalf("expected no findings for the allocation-free hotpath, got %v", findings)
 	}
 }
+
+// TestAllocProofAcceptsCaptureTap pins the capture plane's hot-path promise
+// in fixture form: a recorder tap shaped like capture.Recorder.recordEvent —
+// gated buffer writes, cold flush, allocating emit helpers off the record*
+// naming — charges nothing to the marked function. If the real recorder
+// grows an allocation, `make vet` catches it on the real tree; this fixture
+// keeps the pass itself honest about the shape it must accept.
+func TestAllocProofAcceptsCaptureTap(t *testing.T) {
+	findings := AllocProof{}.CheckProgram(loadFixtureProgram(t, "hotpath_capture", "hypertap/internal/capture"))
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "recordEvent") {
+			t.Errorf("allocation charged to the recorder tap: %s", f.Msg)
+		}
+		if strings.Contains(f.Msg, "emitHeader") || strings.Contains(f.Msg, "flush") {
+			t.Errorf("cold helper charged despite being unmarked: %s", f.Msg)
+		}
+	}
+}

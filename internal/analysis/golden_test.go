@@ -89,6 +89,9 @@ func TestGolden(t *testing.T) {
 		// hotpath_trace only fires in the flight-plane packages: recording
 		// functions must be hotpath-marked or carry a reasoned allow.
 		{"hotpath_trace", "hypertap/internal/flight"},
+		// the exit-stream capture tap joins the flight plane: its per-event
+		// recorder must be marked; emit*/flush cold helpers escape by name.
+		{"hotpath_capture", "hypertap/internal/capture"},
 		// multi-file package: allow-file in a.go must not cover b.go.
 		{"multifile", "hypertap/internal/gmem"},
 		// lockdiscipline: every critical-section rule (channel ops, I/O,

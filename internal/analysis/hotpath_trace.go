@@ -10,6 +10,7 @@ import (
 // stay on during benchmarks, which only holds if every recording function
 // submits to the hotpath pass's no-lock/no-alloc discipline.
 var flightPlanePkgs = []string{
+	"hypertap/internal/capture",
 	"hypertap/internal/core",
 	"hypertap/internal/flight",
 }
@@ -26,10 +27,11 @@ func (HotpathTrace) Name() string { return "hotpath_trace" }
 
 // Doc implements Pass.
 func (HotpathTrace) Doc() string {
-	return "The flight recorder stays enabled during benchmarks, so every recording " +
-		"function (Record*/record* in internal/core and internal/flight) must be marked " +
-		"//hypertap:hotpath and pass the hotpath checks. Genuinely cold recording helpers " +
-		"carry //hypertap:allow hotpath_trace <reason>."
+	return "The flight recorder and the exit-stream capture tap stay enabled during " +
+		"benchmarks, so every recording function (Record*/record* in internal/core, " +
+		"internal/flight and internal/capture) must be marked //hypertap:hotpath and pass " +
+		"the hotpath checks. Genuinely cold recording helpers carry " +
+		"//hypertap:allow hotpath_trace <reason>."
 }
 
 // Check implements Pass.

@@ -1,0 +1,68 @@
+// Package fixture models the exit-stream capture tap under the capture
+// import path: the per-event recording function is hotpath-marked and writes
+// only into its preallocated buffer (allocproof must come back empty), cold
+// helpers escape the naming discipline by not being record-named, and a
+// recording function that forgot its marker is the hotpath_trace finding.
+package fixture
+
+// tap is a miniature of capture.Recorder: one flat buffer, a cursor, a
+// sticky error.
+type tap struct {
+	buf []byte
+	n   int
+	bad bool
+}
+
+// recordEvent is the hot path: marked, lock-free, allocation-free — a gated
+// buffer write per published event, exactly the shape the real recorder
+// must keep.
+//
+//hypertap:hotpath
+func (t *tap) recordEvent(seq uint64, kind byte) {
+	if t.bad {
+		return
+	}
+	if len(t.buf)-t.n < 9 {
+		t.flush()
+		if t.bad {
+			return
+		}
+	}
+	b := t.buf[t.n:]
+	b[0] = kind
+	for i := 0; i < 8; i++ {
+		b[1+i] = byte(seq >> (8 * i))
+	}
+	t.n += 9
+}
+
+// recordTick forgot its marker: under the capture import path this is the
+// hotpath_trace finding.
+func (t *tap) recordTick(now int64) {
+	if len(t.buf)-t.n < 8 {
+		t.flush()
+	}
+	t.n += 8
+	_ = now
+}
+
+// emitHeader is cold and allocates freely; it escapes the recording
+// discipline by name (emit*, not record*), like the real recorder's
+// view-read emitters.
+func (t *tap) emitHeader(names []string) []byte {
+	out := make([]byte, 0, 64)
+	for _, s := range names {
+		out = append(out, byte(len(s)))
+		out = append(out, s...)
+	}
+	return out
+}
+
+// flush drains to the sink: cold by name and unmarked, so its cost is
+// accepted.
+func (t *tap) flush() {
+	if t.n == 0 {
+		return
+	}
+	t.n = 0
+}

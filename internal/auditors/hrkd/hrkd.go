@@ -240,7 +240,17 @@ func (d *Detector) CrossCheckAgainst(view []guest.ProcEntry) *CrossViewReport {
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for rsp0, st := range d.seen {
+	// Walk the execution view in a stable order: each candidate may read the
+	// guest (taskState below), and those reads must happen in the same order
+	// on every run for capture replay (internal/capture) to line up its
+	// recorded view results. Map iteration order would shuffle them.
+	rsp0s := make([]arch.GVA, 0, len(d.seen))
+	for rsp0 := range d.seen {
+		rsp0s = append(rsp0s, rsp0)
+	}
+	sort.Slice(rsp0s, func(i, j int) bool { return rsp0s[i] < rsp0s[j] })
+	for _, rsp0 := range rsp0s {
+		st := d.seen[rsp0]
 		if now-st.LastSeen > d.cfg.Window {
 			// Stale: the thread has not run recently; drop it so exited
 			// tasks do not pollute the comparison.

@@ -1,0 +1,109 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+	"hypertap/internal/telemetry"
+)
+
+// replayVerdicts is one replay's complete observable output: the solo
+// outcome (events, verdicts, rings) plus the telemetry counters and gauges.
+type replayVerdicts struct {
+	out         soloOutcome
+	metrics     []byte
+	divergences uint64
+}
+
+// replayForDeterminism replays data with the full solo auditing plane and
+// telemetry enabled, returning everything an observer could compare.
+func replayForDeterminism(t *testing.T, data []byte, sym guest.Symbols) replayVerdicts {
+	t.Helper()
+	rp, err := NewReplay(bytes.NewReader(data), ReplayConfig{
+		Flight: core.NewFlightTable(1, 0, 0),
+		Strict: true,
+	})
+	if err != nil {
+		t.Error(err)
+		return replayVerdicts{}
+	}
+	reg := telemetry.NewRegistry()
+	rp.EM().EnableTelemetry(reg)
+	auds := wireSoloAuditors(t, rp.EM(), rp.Clock(0), rp.Header().VMs[0].VCPUs,
+		rp.View(0), rp.Counter(0), sym)
+	auds.gos.EnableTelemetry(reg)
+	auds.fw.EnableTelemetry(reg)
+	auds.hr.EnableTelemetry(reg)
+	auds.nin.EnableTelemetry(reg)
+	auds.gos.Start()
+	if err := rp.Run(); err != nil {
+		t.Error(err)
+		return replayVerdicts{}
+	}
+	report, err := auds.hr.CrossCheck()
+	if err != nil {
+		t.Error(err)
+		return replayVerdicts{}
+	}
+	out := auds.outcome(t, rp.EM())
+	out.report = report
+	return replayVerdicts{
+		out:         out,
+		metrics:     metricBytes(t, reg),
+		divergences: rp.Divergences(),
+	}
+}
+
+// metricBytes serializes the deterministic slice of a telemetry snapshot:
+// counters and gauges. Histograms sample wall-clock latency (their one
+// documented real-time read) and are excluded, exactly as the experiment
+// plane's equivalence gates exclude them.
+func metricBytes(t *testing.T, reg *telemetry.Registry) []byte {
+	t.Helper()
+	snap := reg.Snapshot()
+	snap.Histograms = nil
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestReplayDeterminism replays one capture twice, concurrently, and demands
+// byte-identical verdicts, flight rings and telemetry. Run under -race this
+// doubles as the proof that two replays share no hidden mutable state — the
+// property that makes corpus fuzzing meaningful (a fuzz "determinism
+// violation" verdict can only be trusted if clean captures replay
+// deterministically).
+func TestReplayDeterminism(t *testing.T) {
+	data, _, sym := liveSoloRun(t)
+
+	var verdicts [2]replayVerdicts
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			verdicts[i] = replayForDeterminism(t, data, sym)
+			done <- i
+		}(i)
+	}
+	<-done
+	<-done
+	if t.Failed() {
+		return
+	}
+
+	a, b := verdicts[0], verdicts[1]
+	if a.divergences != 0 || b.divergences != 0 {
+		t.Fatalf("replays diverged from the capture: %d and %d", a.divergences, b.divergences)
+	}
+	if len(a.out.events) == 0 {
+		t.Fatal("replay delivered no events; determinism would be vacuous")
+	}
+	compareSolo(t, a.out, b.out)
+	if !bytes.Equal(a.metrics, b.metrics) {
+		t.Fatalf("telemetry diverged between replays:\nfirst  %s\nsecond %s", a.metrics, b.metrics)
+	}
+}

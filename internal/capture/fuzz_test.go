@@ -1,0 +1,170 @@
+package capture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+)
+
+// corpusDir holds the checked-in seed corpus: deterministic Generate output
+// plus any minimized crashers promoted from fuzzing runs. Every file replays
+// through the full auditing plane in TestCorpusRegression, so a crasher
+// checked in here is a permanent regression test.
+const corpusDir = "testdata/corpus"
+
+// fuzzMaxInput caps fuzz inputs: a corrupted length field must not make the
+// harness itself allocate without bound.
+const fuzzMaxInput = 1 << 20
+
+// fuzzReplayOnce replays data through the full auditing plane with hostile-
+// input caps and returns a deterministic summary of everything observable:
+// rejection/error text, verdict counts, divergences and flight-ring bytes.
+// Inputs that fail to parse return the error text — rejection must be as
+// deterministic as acceptance.
+func fuzzReplayOnce(data []byte) []byte {
+	var sum bytes.Buffer
+	rp, err := NewReplay(bytes.NewReader(data), ReplayConfig{
+		MaxVMs:   8,
+		MaxVCPUs: 16,
+		MaxTick:  time.Second,
+		Flight:   core.NewFlightTable(8, 64, 64),
+	})
+	if err != nil {
+		fmt.Fprintf(&sum, "reject: %v", err)
+		return sum.Bytes()
+	}
+	// Identical wiring to the equivalence gates: whatever a live deployment
+	// runs against the EM is what the fuzzer hammers. The zero Symbols table
+	// makes every introspection walk take its error path — also worth
+	// fuzzing. Construction can only fail on duplicate registration, which a
+	// fresh EM rules out, so a failure here is itself a finding (panic).
+	auds, err := buildSoloAuditors(rp.EM(), rp.Clock(0), rp.Header().VMs[0].VCPUs,
+		rp.View(0), rp.Counter(0), guest.Symbols{})
+	if err != nil {
+		panic("capture: fuzz auditor wiring failed: " + err.Error())
+	}
+	auds.gos.Start()
+	runErr := rp.Run()
+	fmt.Fprintf(&sum, "run: %v\n", runErr)
+	fmt.Fprintf(&sum, "div: %d\n", rp.Divergences())
+	fmt.Fprintf(&sum, "events: %d alarms: %d dets: %d checks: %d storms: %d total: %d\n",
+		len(auds.col.events()), len(auds.gos.Alarms()), len(auds.nin.Detections()),
+		auds.nin.Checks(), len(auds.fw.Storms()), auds.fw.Total())
+	// The epilogue reads auditors perform after a clean replay must also be
+	// panic-free and deterministic on hostile streams.
+	if report, err := auds.hr.CrossCheck(); err == nil {
+		fmt.Fprintf(&sum, "crosscheck: %d/%d/%d hidden %d\n",
+			report.ArchAddressSpaces, report.ArchThreads, report.ViewTasks, len(report.Hidden))
+	} else {
+		fmt.Fprintf(&sum, "crosscheck err: %v\n", err)
+	}
+	for vm := range rp.Header().VMs {
+		for _, rec := range rp.EM().FlightExits(core.VMID(vm)) {
+			fmt.Fprintf(&sum, "exit %d %d %d %d %d %d\n",
+				rec.Span, rec.TimeNS, rec.Digest, rec.Sync, rec.Queued, rec.Dropped)
+		}
+	}
+	return sum.Bytes()
+}
+
+// FuzzReplay feeds mutated captures — truncations, reorderings, corrupted
+// Seq/VM/Span fields, register bit-flips, illegal ExitReason and payload
+// combinations, hostile headers — through the full replay plane and hunts
+// three classes of bug: panics anywhere in the auditor plane, parse
+// acceptance of malformed streams, and determinism violations (the same
+// bytes replaying to different verdicts).
+func FuzzReplay(f *testing.F) {
+	f.Add(Generate(1, 1, 2, 64, time.Millisecond))
+	f.Add(Generate(7, 4, 2, 256, time.Millisecond))
+	f.Add(Generate(42, 2, 1, 32, 5*time.Millisecond))
+	f.Add(Generate(9, 8, 4, 128, 100*time.Microsecond))
+	f.Add(magic[:])
+	f.Add([]byte{})
+	if ents, err := os.ReadDir(corpusDir); err == nil {
+		for _, ent := range ents {
+			if ent.IsDir() || filepath.Ext(ent.Name()) != ".bin" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(corpusDir, ent.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzMaxInput {
+			t.Skip("oversized input")
+		}
+		first := fuzzReplayOnce(data)
+		second := fuzzReplayOnce(data)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("determinism violation: same bytes, different outcomes\nfirst:\n%s\nsecond:\n%s", first, second)
+		}
+	})
+}
+
+// TestCorpusRegression replays every checked-in corpus file through the fuzz
+// harness — including any minimized crashers promoted into testdata/corpus —
+// so past findings stay fixed without needing -fuzz.
+func TestCorpusRegression(t *testing.T) {
+	ents, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	n := 0
+	for _, ent := range ents {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".bin" {
+			continue
+		}
+		n++
+		t.Run(ent.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(corpusDir, ent.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := fuzzReplayOnce(data)
+			second := fuzzReplayOnce(data)
+			if !bytes.Equal(first, second) {
+				t.Fatalf("corpus file replays nondeterministically:\nfirst:\n%s\nsecond:\n%s", first, second)
+			}
+		})
+	}
+	if n == 0 {
+		t.Fatal("seed corpus is empty; fuzzing would start from nothing")
+	}
+}
+
+// TestWriteSeedCorpus regenerates the checked-in seed corpus when
+// HYPERTAP_UPDATE_CORPUS=1. The files are pure Generate output, so the
+// regenerated bytes are reproducible; the env gate keeps `go test` read-only.
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("HYPERTAP_UPDATE_CORPUS") == "" {
+		t.Skip("set HYPERTAP_UPDATE_CORPUS=1 to regenerate the seed corpus")
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds := []struct {
+		name string
+		data []byte
+	}{
+		{"solo-small", Generate(101, 1, 2, 200, time.Millisecond)},
+		{"fleet-4vm", Generate(202, 4, 2, 400, time.Millisecond)},
+		{"fleet-8vm-wide", Generate(303, 8, 8, 600, 500*time.Microsecond)},
+		{"single-vcpu", Generate(404, 2, 1, 100, 10*time.Millisecond)},
+	}
+	for _, s := range seeds {
+		path := filepath.Join(corpusDir, s.name+".bin")
+		if err := os.WriteFile(path, s.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(s.data))
+	}
+}

@@ -1,0 +1,380 @@
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/hav"
+)
+
+// ErrUnsupportedVersion marks a well-formed capture written by a different
+// format version. Readers fail fast instead of guessing at skewed framing.
+var ErrUnsupportedVersion = errors.New("capture: unsupported format version")
+
+// Record is one decoded capture record. Kind selects which fields are set.
+type Record struct {
+	// Kind is the record kind (event, tick, barrier, view, counter, end).
+	Kind byte
+	// Event is the decoded event for event records.
+	Event core.Event
+	// VM is the tagged VM for tick, view and counter records.
+	VM core.VMID
+	// Now is the virtual time for tick and barrier records.
+	Now time.Duration
+	// View is the recorded read result for view records.
+	View ViewRecord
+	// Count is the recorded process count for counter records.
+	Count int
+}
+
+// ViewRecord is one recorded GuestView read result.
+type ViewRecord struct {
+	// Method identifies the GuestView method (view* constants).
+	Method byte
+	// VCPU is the queried vCPU for Regs records.
+	VCPU int
+	// Regs is the recorded register file for Regs records.
+	Regs arch.RegisterFile
+	// U64 / U32 / Str / Data carry the method's result value.
+	U64  uint64
+	U32  uint32
+	Str  string
+	Data []byte
+	// OK is the TranslateGVA / Paused boolean result.
+	OK bool
+	// Err reports that the recorded read failed. The error text is not
+	// preserved; replay surfaces a generic recorded-failure error.
+	Err bool
+	// Now is the recorded virtual time for Now records.
+	Now time.Duration
+}
+
+// Reader decodes a capture stream record by record.
+type Reader struct {
+	r   *bufio.Reader
+	hdr Header
+}
+
+// NewReader parses the capture header and positions the reader at the first
+// record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var fixed [4 + 1 + 1 + 8 + 2]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return nil, fmt.Errorf("capture: reading header: %w", err)
+	}
+	if [4]byte(fixed[:4]) != magic {
+		return nil, fmt.Errorf("capture: bad magic %q (not a HyperTap capture)", fixed[:4])
+	}
+	if v := fixed[4]; v != Version {
+		return nil, fmt.Errorf("%w: stream is v%d, this reader understands v%d only", ErrUnsupportedVersion, v, Version)
+	}
+	hdr := Header{Tick: time.Duration(binary.LittleEndian.Uint64(fixed[6:]))}
+	nVMs := int(binary.LittleEndian.Uint16(fixed[14:]))
+	if nVMs == 0 {
+		return nil, fmt.Errorf("capture: header lists no VMs")
+	}
+	// The VM table is read incrementally — a hostile count cannot trigger a
+	// large up-front allocation, only as many appends as bytes back it up.
+	for i := 0; i < nVMs; i++ {
+		nameLen, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("capture: reading VM table: %w", err)
+		}
+		if nameLen == 0 {
+			return nil, fmt.Errorf("capture: VM %d has an empty name", i)
+		}
+		buf := make([]byte, int(nameLen)+2)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("capture: reading VM table: %w", err)
+		}
+		vcpus := int(binary.LittleEndian.Uint16(buf[nameLen:]))
+		if vcpus == 0 {
+			return nil, fmt.Errorf("capture: VM %q has zero vCPUs", buf[:nameLen])
+		}
+		hdr.VMs = append(hdr.VMs, VMHeader{Name: string(buf[:nameLen]), VCPUs: vcpus})
+	}
+	return &Reader{r: br, hdr: hdr}, nil
+}
+
+// Header returns the parsed capture header.
+func (rd *Reader) Header() Header { return rd.hdr }
+
+// Next decodes the next record into rec. It returns io.EOF at a clean record
+// boundary; a stream that stops mid-record returns a wrapped
+// io.ErrUnexpectedEOF instead, so truncation is never silent.
+func (rd *Reader) Next(rec *Record) error {
+	kind, err := rd.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("capture: reading record kind: %w", err)
+	}
+	*rec = Record{Kind: kind}
+	switch kind {
+	case recEvent:
+		return rd.readEvent(rec)
+	case recTick:
+		var b [10]byte
+		if err := rd.fill(b[:], "tick record"); err != nil {
+			return err
+		}
+		rec.VM = core.VMID(binary.LittleEndian.Uint16(b[:]))
+		rec.Now = time.Duration(binary.LittleEndian.Uint64(b[2:]))
+		return nil
+	case recBarrier:
+		var b [8]byte
+		if err := rd.fill(b[:], "barrier record"); err != nil {
+			return err
+		}
+		rec.Now = time.Duration(binary.LittleEndian.Uint64(b[:]))
+		return nil
+	case recView:
+		return rd.readView(rec)
+	case recCounter:
+		var b [10]byte
+		if err := rd.fill(b[:], "counter record"); err != nil {
+			return err
+		}
+		rec.VM = core.VMID(binary.LittleEndian.Uint16(b[:]))
+		rec.Count = int(int64(binary.LittleEndian.Uint64(b[2:])))
+		return nil
+	case recEnd:
+		return nil
+	default:
+		return fmt.Errorf("capture: unknown record kind %d", kind)
+	}
+}
+
+// fill reads an exact span, converting a clean EOF into an unexpected one:
+// past the kind byte, running out of input is always truncation.
+func (rd *Reader) fill(b []byte, what string) error {
+	if _, err := io.ReadFull(rd.r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("capture: truncated %s: %w", what, err)
+	}
+	return nil
+}
+
+// readEvent decodes an event record body.
+func (rd *Reader) readEvent(rec *Record) error {
+	var fixed [eventFixedSize - 1]byte
+	if err := rd.fill(fixed[:], "event record"); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	ev := &rec.Event
+	ev.Type = core.EventType(fixed[0])
+	if ev.Type == 0 {
+		return fmt.Errorf("capture: event record has zero type")
+	}
+	ev.VM = core.VMID(le.Uint16(fixed[1:]))
+	ev.VCPU = int(le.Uint16(fixed[3:]))
+	ev.Seq = le.Uint64(fixed[5:])
+	ev.Span = core.SpanID(le.Uint64(fixed[13:]))
+	ev.Time = time.Duration(le.Uint64(fixed[21:]))
+	ev.ExitReason = hav.ExitReason(fixed[29])
+	if ev.ExitReason != 0 && !ev.ExitReason.Valid() {
+		return fmt.Errorf("capture: event record has invalid exit reason %d", fixed[29])
+	}
+	getRegs(fixed[30:], &ev.Regs)
+	switch ev.Type {
+	case core.EvProcessSwitch:
+		var b [8]byte
+		if err := rd.fill(b[:], "process-switch payload"); err != nil {
+			return err
+		}
+		ev.PDBA = arch.GPA(le.Uint64(b[:]))
+	case core.EvThreadSwitch:
+		var b [16]byte
+		if err := rd.fill(b[:], "thread-switch payload"); err != nil {
+			return err
+		}
+		ev.RSP0 = arch.GVA(le.Uint64(b[:]))
+		ev.GPA = arch.GPA(le.Uint64(b[8:]))
+	case core.EvSyscall:
+		var b [4 + 4*8]byte
+		if err := rd.fill(b[:], "syscall payload"); err != nil {
+			return err
+		}
+		ev.SyscallNr = le.Uint32(b[:])
+		for i := range ev.SyscallArgs {
+			ev.SyscallArgs[i] = le.Uint64(b[4+8*i:])
+		}
+	case core.EvIOPort:
+		var b [7]byte
+		if err := rd.fill(b[:], "io-port payload"); err != nil {
+			return err
+		}
+		ev.Port = le.Uint16(b[:])
+		ev.IsWrite = b[2] != 0
+		ev.IOValue = le.Uint32(b[3:])
+	case core.EvMMIO, core.EvMemAccess:
+		var b [17]byte
+		if err := rd.fill(b[:], "memory payload"); err != nil {
+			return err
+		}
+		ev.GPA = arch.GPA(le.Uint64(b[:]))
+		ev.GVA = arch.GVA(le.Uint64(b[8:]))
+		ev.IsWrite = b[16] != 0
+	case core.EvInterrupt, core.EvRawExit:
+		var b [1]byte
+		if err := rd.fill(b[:], "vector payload"); err != nil {
+			return err
+		}
+		ev.Vector = b[0]
+	case core.EvAPICAccess:
+		var b [1]byte
+		if err := rd.fill(b[:], "apic payload"); err != nil {
+			return err
+		}
+		ev.IsWrite = b[0] != 0
+	case core.EvHalt:
+		// No payload.
+	case core.EvMSRWrite:
+		var b [12]byte
+		if err := rd.fill(b[:], "msr payload"); err != nil {
+			return err
+		}
+		ev.MSR = arch.MSR(le.Uint32(b[:]))
+		ev.MSRValue = le.Uint64(b[4:])
+	case core.EvTSSRelocated:
+		var b [8]byte
+		if err := rd.fill(b[:], "tss payload"); err != nil {
+			return err
+		}
+		ev.GVA = arch.GVA(le.Uint64(b[:]))
+	default:
+		var b [genericPayloadSize]byte
+		if err := rd.fill(b[:], "generic payload"); err != nil {
+			return err
+		}
+		ev.PDBA = arch.GPA(le.Uint64(b[:]))
+		ev.RSP0 = arch.GVA(le.Uint64(b[8:]))
+		ev.SyscallNr = le.Uint32(b[16:])
+		for i := range ev.SyscallArgs {
+			ev.SyscallArgs[i] = le.Uint64(b[20+8*i:])
+		}
+		ev.Port = le.Uint16(b[52:])
+		ev.IsWrite = b[54] != 0
+		ev.IOValue = le.Uint32(b[55:])
+		ev.Vector = b[59]
+		ev.MSR = arch.MSR(le.Uint32(b[60:]))
+		ev.MSRValue = le.Uint64(b[64:])
+		ev.GPA = arch.GPA(le.Uint64(b[72:]))
+		ev.GVA = arch.GVA(le.Uint64(b[80:]))
+	}
+	return nil
+}
+
+// readView decodes a view record body.
+func (rd *Reader) readView(rec *Record) error {
+	var pre [3]byte
+	if err := rd.fill(pre[:], "view record"); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	rec.VM = core.VMID(le.Uint16(pre[:]))
+	v := &rec.View
+	v.Method = pre[2]
+	switch v.Method {
+	case viewRegs:
+		var b [2 + regsSize]byte
+		if err := rd.fill(b[:], "regs view"); err != nil {
+			return err
+		}
+		v.VCPU = int(le.Uint16(b[:]))
+		getRegs(b[2:], &v.Regs)
+	case viewReadGPA:
+		var b [5]byte
+		if err := rd.fill(b[:], "read-gpa view"); err != nil {
+			return err
+		}
+		v.Err = b[0] != 0
+		n := le.Uint32(b[1:])
+		if n > maxDataLen {
+			return fmt.Errorf("capture: read-gpa view claims %d bytes (limit %d)", n, maxDataLen)
+		}
+		if n > 0 {
+			v.Data = make([]byte, n)
+			if err := rd.fill(v.Data, "read-gpa view data"); err != nil {
+				return err
+			}
+		}
+	case viewReadU64GPA, viewReadU64GVA:
+		var b [9]byte
+		if err := rd.fill(b[:], "u64 view"); err != nil {
+			return err
+		}
+		v.Err = b[0] != 0
+		v.U64 = le.Uint64(b[1:])
+	case viewReadU32GPA, viewReadU32GVA:
+		var b [5]byte
+		if err := rd.fill(b[:], "u32 view"); err != nil {
+			return err
+		}
+		v.Err = b[0] != 0
+		v.U32 = le.Uint32(b[1:])
+	case viewTranslate:
+		var b [9]byte
+		if err := rd.fill(b[:], "translate view"); err != nil {
+			return err
+		}
+		v.OK = b[0] != 0
+		v.U64 = le.Uint64(b[1:])
+	case viewReadCString:
+		var b [3]byte
+		if err := rd.fill(b[:], "cstring view"); err != nil {
+			return err
+		}
+		v.Err = b[0] != 0
+		n := int(le.Uint16(b[1:]))
+		if n > maxStringLen {
+			return fmt.Errorf("capture: cstring view claims %d bytes (limit %d)", n, maxStringLen)
+		}
+		if n > 0 {
+			buf := make([]byte, n)
+			if err := rd.fill(buf, "cstring view data"); err != nil {
+				return err
+			}
+			v.Str = string(buf)
+		}
+	case viewNow:
+		var b [8]byte
+		if err := rd.fill(b[:], "now view"); err != nil {
+			return err
+		}
+		v.Now = time.Duration(le.Uint64(b[:]))
+	case viewPaused:
+		var b [1]byte
+		if err := rd.fill(b[:], "paused view"); err != nil {
+			return err
+		}
+		v.OK = b[0] != 0
+	default:
+		return fmt.Errorf("capture: unknown view method %d", v.Method)
+	}
+	return nil
+}
+
+// getRegs decodes an arch.RegisterFile from b (regsSize bytes).
+func getRegs(b []byte, regs *arch.RegisterFile) {
+	le := binary.LittleEndian
+	regs.RIP = arch.GVA(le.Uint64(b[:]))
+	regs.RSP = arch.GVA(le.Uint64(b[8:]))
+	regs.CR3 = arch.GPA(le.Uint64(b[16:]))
+	regs.TR = arch.GVA(le.Uint64(b[24:]))
+	regs.CPL = arch.Ring(b[32])
+	for i := range regs.GPRs {
+		regs.GPRs[i] = le.Uint64(b[33+8*i:])
+	}
+}

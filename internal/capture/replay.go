@@ -1,0 +1,383 @@
+package capture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"hypertap/internal/arch"
+	"hypertap/internal/core"
+	"hypertap/internal/vclock"
+)
+
+// errDivergence is returned by ReplayView reads that have no matching record:
+// the replayed auditors asked for something the live ones never read. The
+// read counts as a divergence and yields this static error (no guest exists
+// to answer it).
+var errDivergence = errors.New("capture: replay diverged — read has no matching recorded result")
+
+// errRecordedFailure stands in for a live read error. Only the fact of the
+// failure is recorded, not its text; auditors branch on err != nil, never on
+// the message, so the stand-in preserves behavior.
+var errRecordedFailure = errors.New("capture: recorded guest read failed")
+
+// ReplayConfig tunes a Replay. The zero value is safe for trusted captures;
+// fuzzing harnesses set the caps so hostile headers cannot inflate state.
+type ReplayConfig struct {
+	// MaxVMs caps the attached VM count (0 means DefaultMaxVMs). Streams
+	// whose header exceeds it are rejected up front.
+	MaxVMs int
+	// MaxVCPUs caps each VM's header vCPU count (0 means no cap beyond the
+	// format's 65535).
+	MaxVCPUs int
+	// MaxTick caps a single tick record's forward jump (0 means no cap).
+	// Bounds timer cascades when replaying corrupted time values.
+	MaxTick time.Duration
+	// Flight, when set, is attached to the replay EM so flight rings can be
+	// compared against the live run's.
+	Flight *core.FlightTable
+	// Strict makes divergences (unmatched view reads, trailing records)
+	// errors instead of counters.
+	Strict bool
+}
+
+// DefaultMaxVMs bounds replayed VM tables when ReplayConfig.MaxVMs is zero.
+const DefaultMaxVMs = 256
+
+// Replay drives a fresh Event Multiplexer from a capture stream: events are
+// re-published, ticks re-advance per-VM virtual clocks, barriers re-drain the
+// EM — the exact schedule the live run followed — while auditor GuestView
+// reads are answered from the recorded stream. Register the same auditors in
+// the same order as the live run and every verdict, telemetry counter and
+// flight ring is byte-identical, with no guest anywhere.
+type Replay struct {
+	rd     *Reader
+	hdr    Header
+	cfg    ReplayConfig
+	em     *core.Multiplexer
+	clocks []*vclock.Clock
+
+	// pending is the one-record lookahead shared by Run and the view pops.
+	pending    Record
+	hasPending bool
+
+	divergences uint64
+	ev          core.Event
+}
+
+// NewReplay parses the capture header from r and builds the replay plane:
+// one EM with the recorded VMs attached under their recorded names (so actor
+// and route tables line up), one virtual clock per VM.
+func NewReplay(r io.Reader, cfg ReplayConfig) (*Replay, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := rd.Header()
+	maxVMs := cfg.MaxVMs
+	if maxVMs <= 0 {
+		maxVMs = DefaultMaxVMs
+	}
+	if len(hdr.VMs) > maxVMs {
+		return nil, fmt.Errorf("capture: header lists %d VMs, replay cap is %d", len(hdr.VMs), maxVMs)
+	}
+	if cfg.MaxVCPUs > 0 {
+		for _, vm := range hdr.VMs {
+			if vm.VCPUs > cfg.MaxVCPUs {
+				return nil, fmt.Errorf("capture: VM %q has %d vCPUs, replay cap is %d", vm.Name, vm.VCPUs, cfg.MaxVCPUs)
+			}
+		}
+	}
+	rp := &Replay{rd: rd, hdr: hdr, em: core.NewMultiplexer(), cfg: cfg}
+	if cfg.Flight != nil {
+		rp.em.SetFlight(cfg.Flight)
+	}
+	for _, vm := range hdr.VMs {
+		if _, err := rp.em.AttachVM(vm.Name); err != nil {
+			return nil, fmt.Errorf("capture: attaching recorded VM: %w", err)
+		}
+		rp.clocks = append(rp.clocks, &vclock.Clock{})
+	}
+	return rp, nil
+}
+
+// EM returns the replay's Event Multiplexer. Register auditors on it — in
+// the same order as the live run, for identical actor IDs — before Run.
+func (rp *Replay) EM() *core.Multiplexer { return rp.em }
+
+// Header returns the capture header.
+func (rp *Replay) Header() Header { return rp.hdr }
+
+// Clock returns VM vm's replay clock (GOSHD's Config.Clock and timer base).
+func (rp *Replay) Clock(vm core.VMID) *vclock.Clock { return rp.clocks[vm] }
+
+// Divergences counts reads and records that did not line up with the live
+// run. Zero after a clean replay of an intact capture.
+func (rp *Replay) Divergences() uint64 { return rp.divergences }
+
+// Run drives the schedule: every event, tick and barrier replays in recorded
+// order, with auditor reads answered from the stream as they happen. It
+// stops at the end marker (or a clean EOF at a record boundary — a capture
+// snapshotted mid-run, e.g. from an incident bundle) so epilogue reads can
+// follow via View/Counter. View or counter records encountered directly are
+// orphans — recorded reads the replayed auditors never performed — and count
+// as divergences (errors under Strict).
+func (rp *Replay) Run() error {
+	for {
+		rec, err := rp.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch rec.Kind {
+		case recEvent:
+			// Publish copies into async rings, so the scratch event is safe
+			// to reuse across iterations.
+			rp.ev = rec.Event
+			rp.em.Publish(&rp.ev)
+		case recTick:
+			if int(rec.VM) >= len(rp.clocks) {
+				rp.divergences++
+				if rp.cfg.Strict {
+					return fmt.Errorf("capture: tick record names VM %d, header lists %d", rec.VM, len(rp.clocks))
+				}
+				continue
+			}
+			target := rec.Now
+			if rp.cfg.MaxTick > 0 {
+				if now := rp.clocks[rec.VM].Now(); target > now+rp.cfg.MaxTick {
+					target = now + rp.cfg.MaxTick
+				}
+			}
+			rp.clocks[rec.VM].AdvanceTo(target)
+		case recBarrier:
+			rp.em.Dispatch(0)
+		case recView, recCounter:
+			rp.divergences++
+			if rp.cfg.Strict {
+				return fmt.Errorf("capture: orphan %s record (no replayed auditor performed this read)", KindName(rec.Kind))
+			}
+		case recEnd:
+			return nil
+		}
+	}
+}
+
+// next returns the next record, honoring the one-record lookahead.
+func (rp *Replay) next() (*Record, error) {
+	if rp.hasPending {
+		rp.hasPending = false
+		return &rp.pending, nil
+	}
+	if err := rp.rd.Next(&rp.pending); err != nil {
+		return nil, err
+	}
+	return &rp.pending, nil
+}
+
+// peek exposes the next record without consuming it.
+func (rp *Replay) peek() (*Record, error) {
+	if !rp.hasPending {
+		if err := rp.rd.Next(&rp.pending); err != nil {
+			return nil, err
+		}
+		rp.hasPending = true
+	}
+	return &rp.pending, nil
+}
+
+// popView consumes the next record if it is a view record for (vm, method);
+// any other shape is a divergence and the record stays put.
+func (rp *Replay) popView(vm core.VMID, method byte) (*ViewRecord, bool) {
+	rec, err := rp.peek()
+	if err != nil || rec.Kind != recView || rec.VM != vm || rec.View.Method != method {
+		rp.divergences++
+		return nil, false
+	}
+	rp.hasPending = false
+	return &rec.View, true
+}
+
+// KindName names a record kind for diagnostics.
+func KindName(kind byte) string {
+	switch kind {
+	case recEvent:
+		return "event"
+	case recTick:
+		return "tick"
+	case recBarrier:
+		return "barrier"
+	case recView:
+		return "view"
+	case recCounter:
+		return "counter"
+	case recEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("kind-%d", kind)
+	}
+}
+
+// View returns VM vm's replay-side GuestView: reads are answered from the
+// recorded stream in issue order. Hand it to the same auditors the live run
+// wrapped with Recorder.View.
+func (rp *Replay) View(vm core.VMID) *ReplayView {
+	return &ReplayView{rp: rp, vm: vm}
+}
+
+// Counter returns VM vm's replay-side process counter.
+func (rp *Replay) Counter(vm core.VMID) *ReplayCounter {
+	return &ReplayCounter{rp: rp, vm: vm}
+}
+
+// ReplayView answers GuestView reads from the capture stream. Reads pop
+// records in order; a read with no matching record is a divergence and
+// returns a zero value with errDivergence.
+type ReplayView struct {
+	rp *Replay
+	vm core.VMID
+}
+
+var _ core.GuestView = (*ReplayView)(nil)
+
+// NumVCPUs implements core.GuestView from the capture header.
+func (v *ReplayView) NumVCPUs() int { return v.rp.hdr.VMs[v.vm].VCPUs }
+
+// Regs implements core.GuestView.
+func (v *ReplayView) Regs(vcpu int) arch.RegisterFile {
+	rec, ok := v.rp.popView(v.vm, viewRegs)
+	if !ok || rec.VCPU != vcpu {
+		if ok {
+			v.rp.divergences++
+		}
+		return arch.RegisterFile{}
+	}
+	return rec.Regs
+}
+
+// ReadGPA implements core.GuestView.
+func (v *ReplayView) ReadGPA(gpa arch.GPA, buf []byte) error {
+	rec, ok := v.rp.popView(v.vm, viewReadGPA)
+	if !ok {
+		return errDivergence
+	}
+	if rec.Err {
+		return errRecordedFailure
+	}
+	if len(rec.Data) != len(buf) {
+		v.rp.divergences++
+		return errDivergence
+	}
+	copy(buf, rec.Data)
+	return nil
+}
+
+// ReadU64GPA implements core.GuestView.
+func (v *ReplayView) ReadU64GPA(gpa arch.GPA) (uint64, error) {
+	return v.popU64(viewReadU64GPA)
+}
+
+// ReadU32GPA implements core.GuestView.
+func (v *ReplayView) ReadU32GPA(gpa arch.GPA) (uint32, error) {
+	return v.popU32(viewReadU32GPA)
+}
+
+// TranslateGVA implements core.GuestView.
+func (v *ReplayView) TranslateGVA(cr3 arch.GPA, gva arch.GVA) (arch.GPA, bool) {
+	rec, ok := v.rp.popView(v.vm, viewTranslate)
+	if !ok {
+		return 0, false
+	}
+	return arch.GPA(rec.U64), rec.OK
+}
+
+// ReadU64GVA implements core.GuestView.
+func (v *ReplayView) ReadU64GVA(cr3 arch.GPA, gva arch.GVA) (uint64, error) {
+	return v.popU64(viewReadU64GVA)
+}
+
+// ReadU32GVA implements core.GuestView.
+func (v *ReplayView) ReadU32GVA(cr3 arch.GPA, gva arch.GVA) (uint32, error) {
+	return v.popU32(viewReadU32GVA)
+}
+
+// ReadCStringGVA implements core.GuestView.
+func (v *ReplayView) ReadCStringGVA(cr3 arch.GPA, gva arch.GVA, max int) (string, error) {
+	rec, ok := v.rp.popView(v.vm, viewReadCString)
+	if !ok {
+		return "", errDivergence
+	}
+	if rec.Err {
+		return "", errRecordedFailure
+	}
+	return rec.Str, nil
+}
+
+// Now implements core.GuestView.
+func (v *ReplayView) Now() time.Duration {
+	rec, ok := v.rp.popView(v.vm, viewNow)
+	if !ok {
+		return 0
+	}
+	return rec.Now
+}
+
+// PauseVM implements core.GuestView. Commands were not recorded; there is no
+// guest to pause.
+func (v *ReplayView) PauseVM() {}
+
+// ResumeVM implements core.GuestView.
+func (v *ReplayView) ResumeVM() {}
+
+// Paused implements core.GuestView.
+func (v *ReplayView) Paused() bool {
+	rec, ok := v.rp.popView(v.vm, viewPaused)
+	if !ok {
+		return false
+	}
+	return rec.OK
+}
+
+// popU64 pops a (uint64, error) read result.
+func (v *ReplayView) popU64(method byte) (uint64, error) {
+	rec, ok := v.rp.popView(v.vm, method)
+	if !ok {
+		return 0, errDivergence
+	}
+	if rec.Err {
+		return 0, errRecordedFailure
+	}
+	return rec.U64, nil
+}
+
+// popU32 pops a (uint32, error) read result.
+func (v *ReplayView) popU32(method byte) (uint32, error) {
+	rec, ok := v.rp.popView(v.vm, method)
+	if !ok {
+		return 0, errDivergence
+	}
+	if rec.Err {
+		return 0, errRecordedFailure
+	}
+	return rec.U32, nil
+}
+
+// ReplayCounter answers hrkd.ProcessCounter sweeps from the stream.
+type ReplayCounter struct {
+	rp *Replay
+	vm core.VMID
+}
+
+// CountProcesses implements hrkd.ProcessCounter.
+func (c *ReplayCounter) CountProcesses() int {
+	rec, err := c.rp.peek()
+	if err != nil || rec.Kind != recCounter || rec.VM != c.vm {
+		c.rp.divergences++
+		return 0
+	}
+	c.rp.hasPending = false
+	return rec.Count
+}

@@ -99,6 +99,9 @@ type Engine struct {
 	decoded  map[core.EventType]uint64
 	// batch accumulates decoded events during one HandleExit call.
 	batch []core.Event
+	// tap, when set, observes every decoded event just before publication —
+	// the capture plane's recording point (internal/capture).
+	tap core.ExitStreamTap
 }
 
 // New creates and arms an engine.
@@ -189,13 +192,28 @@ func (e *Engine) HandleExit(exit *hav.Exit) {
 	}
 	out := make([]core.Event, len(e.batch))
 	copy(out, e.batch)
+	tap := e.tap
 	e.mu.Unlock()
 
 	// Publish records each event's flight exit record — the span's decode
-	// step — under the lock the rings' single-writer contract requires.
+	// step — under the lock the rings' single-writer contract requires. The
+	// tap sees each event first, so a capture's record order is exactly the
+	// EM's publish order.
 	for i := range out {
+		if tap != nil {
+			tap.TapEvent(&out[i])
+		}
 		e.em.Publish(&out[i])
 	}
+}
+
+// SetTap installs (or, with nil, removes) the decode-time exit-stream tap.
+// The tap fires on the exit hot path; implementations must be cheap and
+// allocation-free (internal/capture's Recorder is the intended one).
+func (e *Engine) SetTap(tap core.ExitStreamTap) {
+	e.mu.Lock()
+	e.tap = tap
+	e.mu.Unlock()
 }
 
 // onCRAccess handles Fig. 3A plus the arming points of Fig. 3B/3C/3E.

@@ -1,0 +1,28 @@
+package core
+
+import "time"
+
+// ExitStreamTap observes the Event Forwarder's decoded exit stream together
+// with the control points of the deterministic schedule. It is how the
+// capture plane (internal/capture) records a run: TapEvent fires once per
+// decoded event immediately before the event is published to the EM, TapTick
+// fires once per VM scheduler tick immediately before the VM's virtual clock
+// advances (carrying the clock's target time), and TapBarrier fires
+// immediately before each shared Dispatch drain. Replaying the three calls
+// in recorded order against a fresh EM reproduces the run's publish, timer
+// and drain schedule exactly.
+//
+// Taps run on the hot path: implementations must not allocate, lock, or
+// block. The stream is single-threaded (the simulator's deterministic
+// schedule), so a tap needs no internal synchronization.
+type ExitStreamTap interface {
+	// TapEvent observes one decoded event before it is published. The
+	// pointee is only valid for the duration of the call.
+	TapEvent(ev *Event)
+	// TapTick observes one VM's scheduler tick before its clock advances to
+	// now (the tick's end time).
+	TapTick(vm VMID, now time.Duration)
+	// TapBarrier observes the drain point of a schedule round, before the
+	// EM's Dispatch runs.
+	TapBarrier(now time.Duration)
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 	"path/filepath"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 
 	"hypertap/internal/auditors/fleetwatch"
 	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/capture"
 	"hypertap/internal/core"
 	"hypertap/internal/core/intercept"
 	"hypertap/internal/experiment/runner"
@@ -53,6 +55,12 @@ type FleetConfig struct {
 	// bundle under IncidentDir/unit-NNN/, replayable with ReplayIncident.
 	// Requires the tracing plane (FlightDepth >= 0).
 	IncidentDir string
+	// Capture additionally records each unit host's full decoded exit stream
+	// (internal/capture format) and writes it into any raised bundle as
+	// capture.htcs. Such bundles replay through ReplayIncidentStream — the
+	// auditor plane re-runs from the artifact with no guest simulation at
+	// all, unlike ReplayIncident's full re-execution. Requires IncidentDir.
+	Capture bool
 	// ExtraAuditors, when set, runs for each unit after the standard
 	// auditors are registered and before boot — the fault-injection hook
 	// campaign tests use to plant a panicking or erroring auditor.
@@ -115,12 +123,14 @@ func fleetUnitWorkload(slot int) []guest.Step {
 }
 
 // newFleetSink arms incident capture for one unit, stamping the campaign
-// coordinates that make the bundle replayable.
-func newFleetSink(cfg *FleetConfig, ctx *runner.Ctx, hostName string, h *host.Host) (*flight.Sink, error) {
+// coordinates that make the bundle replayable. stream, when non-nil,
+// contributes the recorded exit stream to each raised bundle.
+func newFleetSink(cfg *FleetConfig, ctx *runner.Ctx, hostName string, h *host.Host, stream func() []byte) (*flight.Sink, error) {
 	return flight.NewSink(flight.SinkConfig{
 		Dir:       filepath.Join(cfg.IncidentDir, fmt.Sprintf("unit-%03d", ctx.Index)),
 		EM:        h.EM(),
 		Telemetry: ctx.Telemetry,
+		Capture:   stream,
 		Context: map[string]string{
 			"campaign_seed": strconv.FormatInt(cfg.Seed, 10),
 			"unit":          strconv.Itoa(ctx.Index),
@@ -156,9 +166,36 @@ func runFleetUnit(cfg *FleetConfig, ctx *runner.Ctx) (rep FleetHostReport, err e
 	if err != nil {
 		return FleetHostReport{}, err
 	}
+	// Exit-stream capture: a recorder tapped into the host before boot sees
+	// every decoded event, tick and barrier. The sink's Capture callback
+	// flushes lazily — only a raised bundle materializes the stream.
+	var capBuf bytes.Buffer
+	var capRec *capture.Recorder
+	var capStream func() []byte
+	if cfg.Capture {
+		if cfg.IncidentDir == "" {
+			return FleetHostReport{}, fmt.Errorf("experiment: FleetConfig.Capture requires IncidentDir")
+		}
+		hdr := capture.Header{Tick: time.Millisecond}
+		for j := range specs {
+			hdr.VMs = append(hdr.VMs, capture.VMHeader{
+				Name: specs[j].Name, VCPUs: h.Machine(j).NumVCPUs(),
+			})
+		}
+		if capRec, err = capture.NewRecorder(&capBuf, hdr); err != nil {
+			return FleetHostReport{}, err
+		}
+		h.SetExitTap(capRec)
+		capStream = func() []byte {
+			// Finish is idempotent; a mid-run bundle (error/panic path) gets
+			// a clean end marker too.
+			_ = capRec.Finish()
+			return append([]byte(nil), capBuf.Bytes()...)
+		}
+	}
 	var sink *flight.Sink
 	if cfg.IncidentDir != "" {
-		if sink, err = newFleetSink(cfg, ctx, hostName, h); err != nil {
+		if sink, err = newFleetSink(cfg, ctx, hostName, h, capStream); err != nil {
 			return FleetHostReport{}, err
 		}
 	}
@@ -346,4 +383,106 @@ func ReplayIncident(cfg FleetConfig, bundleDir string) (*FleetHostReport, error)
 	}
 	rep, err := runFleetUnit(&cfg, ctx)
 	return &rep, err
+}
+
+// StreamVMReport is one VM's outcome from a stream replay. Kernel-side stats
+// (syscalls, switches, exits) do not exist here — there is no kernel — so
+// only the auditing plane's view is reported.
+type StreamVMReport struct {
+	Name   string `json:"name"`
+	Events uint64 `json:"events"`
+	Alarms int    `json:"goshd_alarms"`
+}
+
+// StreamReplayReport is ReplayIncidentStream's outcome.
+type StreamReplayReport struct {
+	Host        string           `json:"host"`
+	VMs         []StreamVMReport `json:"vms"`
+	Events      uint64           `json:"events"`
+	Storms      int              `json:"storms"`
+	Divergences uint64           `json:"divergences"`
+}
+
+// ReplayIncidentStream re-drives the auditor plane from a bundle's recorded
+// exit stream (capture.htcs, written by campaigns run with Capture: true).
+// Where ReplayIncident re-executes the whole unit — guests, kernels and all —
+// this replays only the decoded stream the auditors consumed, so it works
+// even when the faulting workload cannot be re-run, and it isolates the
+// auditor plane: identical verdicts here plus a diverging ReplayIncident
+// points the investigation at the simulation, not the auditors. The standard
+// unit auditors (per-VM GOSHD, fleet accountant) are registered in campaign
+// order, so verdict spans land in the same rings under the same actor IDs.
+func ReplayIncidentStream(cfg FleetConfig, bundleDir string) (*StreamReplayReport, error) {
+	b, err := flight.LoadBundle(bundleDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.Capture) == 0 {
+		return nil, fmt.Errorf("experiment: bundle %s carries no exit stream (campaign ran without Capture)", bundleDir)
+	}
+	cfg.fillDefaults()
+	var fl *core.FlightTable
+	if cfg.FlightDepth >= 0 {
+		fl = core.NewFlightTable(len(b.Meta.VMNames), cfg.FlightDepth, 0)
+	}
+	rp, err := capture.NewReplay(bytes.NewReader(b.Capture), capture.ReplayConfig{Flight: fl})
+	if err != nil {
+		return nil, err
+	}
+	em := rp.EM()
+	hdr := rp.Header()
+	var goshdActor, fwActor uint8
+	dets := make([]*goshd.Detector, len(hdr.VMs))
+	for j := range dets {
+		vmid := core.VMID(j)
+		det, derr := goshd.New(goshd.Config{
+			VM:        vmid,
+			Clock:     rp.Clock(vmid),
+			VCPUs:     hdr.VMs[j].VCPUs,
+			Threshold: cfg.Threshold,
+			OnHang: func(a goshd.HangAlarm) {
+				em.RecordSpan(a.Span, vmid, core.PhaseVerdict, goshdActor, a.At)
+			},
+		})
+		if derr != nil {
+			return nil, derr
+		}
+		if rerr := em.RegisterAuditor(det, core.DeliverAsync, 0); rerr != nil {
+			return nil, rerr
+		}
+		dets[j] = det
+	}
+	fw := fleetwatch.New(fleetwatch.Config{
+		VMName: em.VMName,
+		OnStorm: func(s fleetwatch.Storm) {
+			em.RecordSpan(s.Span, s.VM, core.PhaseVerdict, fwActor, s.WindowStart)
+		},
+	})
+	if err := em.RegisterAuditor(fw, core.DeliverAsync, 1<<16); err != nil {
+		return nil, err
+	}
+	if id, ok := em.ActorID("goshd"); ok {
+		goshdActor = id
+	}
+	if id, ok := em.ActorID("fleetwatch"); ok {
+		fwActor = id
+	}
+	for j := range dets {
+		dets[j].Start()
+	}
+	if err := rp.Run(); err != nil {
+		return nil, err
+	}
+	report := &StreamReplayReport{Host: b.Meta.Context["host"], Divergences: rp.Divergences()}
+	for j := range hdr.VMs {
+		vm := StreamVMReport{
+			Name:   hdr.VMs[j].Name,
+			Events: em.PublishedVM(core.VMID(j)),
+			Alarms: len(dets[j].Alarms()),
+		}
+		report.VMs = append(report.VMs, vm)
+		report.Events += vm.Events
+	}
+	report.Storms = len(fw.Storms())
+	return report, nil
 }

@@ -271,6 +271,110 @@ func TestFleetIncidentDetectionBundle(t *testing.T) {
 		filepath.Join(replayCfg.IncidentDir, "unit-000", "incident-000-detection"))
 }
 
+// TestFleetIncidentStreamReplay drives the third leg of the incident story:
+// a campaign armed with Capture records its decoded exit stream into the
+// detection bundle, and ReplayIncidentStream re-runs the auditor plane from
+// that artifact alone — no guests, no kernels, no injection plan — to the
+// same per-VM verdicts. This is the triage split: ReplayIncident re-executes
+// the simulation, ReplayIncidentStream re-executes only the auditors.
+func TestFleetIncidentStreamReplay(t *testing.T) {
+	dir := incidentDir(t)
+	hangVM1 := func(unit int, h *host.Host) error {
+		m := h.Machine(1)
+		k := m.Kernel()
+		var site guest.SiteID
+		for _, s := range k.Sites() {
+			if s.Kind == guest.FaultMissingRelease && s.Path == guest.SysWrite {
+				site = s.ID
+				break
+			}
+		}
+		if site == 0 {
+			return fmt.Errorf("no missing-release site on the write path")
+		}
+		plan, err := inject.NewPlan(inject.Fault{Site: site, Persistence: inject.Persistent}, m.Clock().Now)
+		if err != nil {
+			return err
+		}
+		k.SetFaultPlan(plan)
+		return nil
+	}
+	cfg := FleetConfig{
+		Hosts:         1,
+		VMsPerHost:    3,
+		Duration:      200 * time.Millisecond,
+		Threshold:     50 * time.Millisecond,
+		Seed:          11,
+		Parallel:      1,
+		FlightDepth:   4096,
+		IncidentDir:   dir,
+		Capture:       true,
+		ExtraAuditors: hangVM1,
+	}
+
+	res, err := RunFleetCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAlarms == 0 {
+		t.Fatal("injected hang raised no GOSHD alarms; no detection bundle to stream-replay")
+	}
+
+	bundleDir := filepath.Join(dir, "unit-000", "incident-000-detection")
+	b, err := flight.LoadBundle(bundleDir)
+	if err != nil {
+		t.Fatalf("loading the detection bundle: %v", err)
+	}
+	if len(b.Capture) == 0 {
+		t.Fatal("Capture campaign produced a bundle without capture.htcs")
+	}
+
+	rep, err := ReplayIncidentStream(cfg, bundleDir)
+	if err != nil {
+		t.Fatalf("stream-replaying the detection bundle: %v", err)
+	}
+	if rep.Divergences != 0 {
+		t.Fatalf("stream replay of a pristine capture reported %d divergences", rep.Divergences)
+	}
+	orig := res.Hosts[0]
+	if rep.Host != orig.Host {
+		t.Fatalf("stream replay host = %q, want %q", rep.Host, orig.Host)
+	}
+	if len(rep.VMs) != len(orig.VMs) {
+		t.Fatalf("stream replay saw %d VMs, campaign had %d", len(rep.VMs), len(orig.VMs))
+	}
+	for j := range orig.VMs {
+		if rep.VMs[j].Name != orig.VMs[j].Name {
+			t.Errorf("VM %d name: replay %q, live %q", j, rep.VMs[j].Name, orig.VMs[j].Name)
+		}
+		if rep.VMs[j].Events != orig.VMs[j].Events {
+			t.Errorf("VM %d events: replay %d, live %d", j, rep.VMs[j].Events, orig.VMs[j].Events)
+		}
+		if rep.VMs[j].Alarms != orig.VMs[j].Alarms {
+			t.Errorf("VM %d alarms: replay %d, live %d", j, rep.VMs[j].Alarms, orig.VMs[j].Alarms)
+		}
+	}
+	if rep.Events != orig.Events {
+		t.Errorf("total events: replay %d, live %d", rep.Events, orig.Events)
+	}
+	if rep.Storms != orig.Storms {
+		t.Errorf("storms: replay %d, live %d", rep.Storms, orig.Storms)
+	}
+
+	// A bundle from an uncaptured campaign must refuse stream replay loudly
+	// rather than replaying an empty stream to a vacuous all-clear.
+	plainCfg := cfg
+	plainCfg.Capture = false
+	plainCfg.IncidentDir = t.TempDir()
+	if _, err := RunFleetCampaign(plainCfg); err != nil {
+		t.Fatal(err)
+	}
+	plainBundle := filepath.Join(plainCfg.IncidentDir, "unit-000", "incident-000-detection")
+	if _, err := ReplayIncidentStream(plainCfg, plainBundle); err == nil || !strings.Contains(err.Error(), "no exit stream") {
+		t.Fatalf("stream replay of a captureless bundle: err = %v, want a no-exit-stream refusal", err)
+	}
+}
+
 // TestFleetCampaignWithoutIncidentDir pins that the capture plane is inert
 // when unarmed: a panicking unit still fails loudly, and nothing is written.
 func TestFleetCampaignWithoutIncidentDir(t *testing.T) {

@@ -68,6 +68,12 @@ type SinkConfig struct {
 	Telemetry *telemetry.Registry
 	// RHC, when set, contributes its per-VM heartbeat view.
 	RHC *core.RHCServer
+	// Capture, when set, supplies the host's recorded exit stream
+	// (internal/capture format) at incident time; Raise writes it into the
+	// bundle as capture.htcs. A callback rather than bytes keeps this package
+	// decoupled from the capture codec and lets the recorder flush lazily —
+	// only an actual incident pays for materializing the stream.
+	Capture func() []byte
 	// Context is stamped into every bundle's manifest (campaign seed, ...).
 	Context map[string]string
 }
@@ -180,6 +186,14 @@ func (s *Sink) Raise(kind string, vm core.VMID, at time.Duration, cause error) (
 		return "", err
 	}
 
+	if s.cfg.Capture != nil {
+		if stream := s.cfg.Capture(); len(stream) > 0 {
+			if err := os.WriteFile(filepath.Join(dir, "capture.htcs"), stream, 0o644); err != nil {
+				return "", fmt.Errorf("flight: %w", err)
+			}
+		}
+	}
+
 	if s.cfg.Telemetry != nil {
 		snap := s.cfg.Telemetry.Snapshot()
 		if err := writeJSON(filepath.Join(dir, "telemetry.json"), &snap); err != nil {
@@ -255,6 +269,10 @@ type Bundle struct {
 	Telemetry *telemetry.Snapshot
 	// RHC is the health checker's view, nil when absent.
 	RHC *RHCState
+	// Capture is the recorded exit stream (internal/capture format) when the
+	// sink was armed with one, nil when absent. Feed it to capture.NewReplay
+	// to re-drive the auditor plane from the artifact alone.
+	Capture []byte
 }
 
 // LoadBundle reads an incident directory written by Sink.Raise.
@@ -306,6 +324,12 @@ func LoadBundle(dir string) (*Bundle, error) {
 			return nil, err
 		}
 		b.RHC = &state
+	}
+	capPath := filepath.Join(dir, "capture.htcs")
+	if stream, readErr := os.ReadFile(capPath); readErr == nil {
+		b.Capture = stream
+	} else if !os.IsNotExist(readErr) {
+		return nil, fmt.Errorf("flight: %w", readErr)
 	}
 	return b, nil
 }

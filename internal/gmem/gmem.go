@@ -127,7 +127,9 @@ func (m *Memory) ReadCString(pa arch.GPA, max int) (string, error) {
 	if max < 0 {
 		return "", fmt.Errorf("gmem: ReadCString with negative max %d", max)
 	}
-	if uint64(pa) >= uint64(len(m.data)) {
+	// pa == size is a legal zero-length window (mirroring Read with an empty
+	// dst there); only addresses strictly past the end are unreachable.
+	if uint64(pa) > uint64(len(m.data)) {
 		return "", fmt.Errorf("%w: read %d bytes at %#x", ErrOutOfRange, max, uint64(pa))
 	}
 	clamped := false
@@ -181,12 +183,14 @@ func (m *Memory) AllocPages(n int) (arch.GPA, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("gmem: AllocPages(%d): count must be positive", n)
 	}
-	need := uint64(n) * arch.PageSize
-	if uint64(m.allocNext)+need > uint64(len(m.data)) {
+	// Compare in pages, not bytes: n*PageSize can wrap uint64 for absurd
+	// counts, and a wrapped product would slip past a byte-level bound check.
+	free := (uint64(len(m.data)) - uint64(m.allocNext)) / arch.PageSize
+	if uint64(n) > free {
 		return 0, fmt.Errorf("%w: allocating %d pages at %#x", ErrOutOfRange, n, uint64(m.allocNext))
 	}
 	base := m.allocNext
-	m.allocNext += arch.GPA(need)
+	m.allocNext += arch.GPA(uint64(n) * arch.PageSize)
 	return base, nil
 }
 

@@ -285,3 +285,61 @@ func TestPropertyAllocAligned(t *testing.T) {
 		prevEnd = a + arch.GPA((i%4+1)*arch.PageSize)
 	}
 }
+
+// TestZeroLengthAtEndOfMemory pins the boundary semantics at pa == Size():
+// the window is addressable and empty, so zero-length reads succeed there —
+// Read with an empty dst always did, and ReadCString must agree — while any
+// read that needs actual bytes still fails loudly.
+func TestZeroLengthAtEndOfMemory(t *testing.T) {
+	m := MustNew(arch.PageSize)
+	end := arch.GPA(arch.PageSize)
+
+	if err := m.Read(end, nil); err != nil {
+		t.Fatalf("zero-length Read at end = %v, want nil", err)
+	}
+	if err := m.Write(end, nil); err != nil {
+		t.Fatalf("zero-length Write at end = %v, want nil", err)
+	}
+	if err := m.Zero(end, 0); err != nil {
+		t.Fatalf("zero-length Zero at end = %v, want nil", err)
+	}
+	s, err := m.ReadCString(end, 0)
+	if err != nil || s != "" {
+		t.Fatalf("ReadCString(end, 0) = %q, %v; want \"\", nil", s, err)
+	}
+	// One byte past the end is not addressable, even for zero bytes.
+	if err := m.Read(end+1, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("zero-length Read past end = %v, want ErrOutOfRange", err)
+	}
+	if _, err := m.ReadCString(end+1, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ReadCString(end+1, 0) = %v, want ErrOutOfRange", err)
+	}
+	// A nonzero read at the end still has no accessible bytes and no NUL.
+	if _, err := m.ReadCString(end, 8); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ReadCString(end, 8) = %v, want ErrOutOfRange", err)
+	}
+}
+
+// TestAllocPagesOverflow pins the multiply-overflow guard: page counts whose
+// byte size wraps uint64 must be rejected, not wrapped into a tiny "need"
+// that slips past the bound check and corrupts the bump pointer.
+func TestAllocPagesOverflow(t *testing.T) {
+	m := MustNew(4 * arch.PageSize)
+	huge := int(uint64(1)<<63/arch.PageSize) + 1
+	for _, n := range []int{huge, int(^uint(0) >> 1)} {
+		if _, err := m.AllocPages(n); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("AllocPages(%d) = %v, want ErrOutOfRange", n, err)
+		}
+	}
+	if got := m.AllocatedBytes(); got != 0 {
+		t.Fatalf("failed alloc moved the bump pointer: %d", got)
+	}
+	// The guard must not cost legitimate allocations anything: the exact
+	// remaining page count still fits.
+	if _, err := m.AllocPages(4); err != nil {
+		t.Fatalf("exact-fit alloc after rejected overflow = %v", err)
+	}
+	if _, err := m.AllocPages(1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("allocation from a full memory succeeded")
+	}
+}

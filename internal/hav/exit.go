@@ -46,8 +46,12 @@ const (
 	ExitAPICAccess
 	// ExitHLT fires when the guest executes HLT (idle).
 	ExitHLT
-	numExitReasons = int(ExitHLT)
 )
+
+// NumExitReasons is the count of modeled exit reasons: valid reasons are
+// 1..NumExitReasons. Deserializers (the flight and capture codecs) size
+// validation tables with it.
+const NumExitReasons = int(ExitHLT)
 
 var exitReasonNames = [...]string{
 	ExitCRAccess:          "CR_ACCESS",
@@ -72,13 +76,13 @@ func (r ExitReason) String() string {
 // exit reason is a closed enum, so any other byte is not a version-skew
 // artifact but damage.
 func (r ExitReason) Valid() bool {
-	return r != 0 && int(r) <= numExitReasons
+	return r != 0 && int(r) <= NumExitReasons
 }
 
 // AllExitReasons lists every modeled exit reason in declaration order.
 func AllExitReasons() []ExitReason {
-	out := make([]ExitReason, 0, numExitReasons)
-	for r := ExitCRAccess; int(r) <= numExitReasons; r++ {
+	out := make([]ExitReason, 0, NumExitReasons)
+	for r := ExitCRAccess; int(r) <= NumExitReasons; r++ {
 		out = append(out, r)
 	}
 	return out

@@ -7,7 +7,7 @@ import "hypertap/internal/telemetry"
 // array index plus one atomic add — no map lookup, no allocation, nothing
 // that would perturb the path whose cost the paper's Fig. 7 measures.
 type ExitCounters struct {
-	byReason [numExitReasons + 1]*telemetry.Counter
+	byReason [NumExitReasons + 1]*telemetry.Counter
 }
 
 // NewExitCounters registers hypertap_vm_exits_total{reason=...} for every

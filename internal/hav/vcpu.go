@@ -65,7 +65,7 @@ type VCPU struct {
 	seq       *uint64
 	inGuest   bool
 	halted    bool
-	exitTally [numExitReasons + 1]uint64
+	exitTally [NumExitReasons + 1]uint64
 
 	// Regs is the architectural register file (the VMCS guest-state area).
 	Regs arch.RegisterFile
@@ -107,7 +107,7 @@ func (v *VCPU) Resume() { v.halted = false }
 
 // ExitCount returns the number of exits taken for a reason.
 func (v *VCPU) ExitCount(r ExitReason) uint64 {
-	if int(r) <= numExitReasons {
+	if int(r) <= NumExitReasons {
 		return v.exitTally[r]
 	}
 	return 0

@@ -69,6 +69,7 @@ type Host struct {
 	machines []*hv.Machine
 	rhc      *core.RHCClient
 	flight   *core.FlightTable
+	tap      core.ExitStreamTap
 	booted   bool
 }
 
@@ -159,7 +160,22 @@ func (h *Host) RunUntil(max time.Duration, cond func() bool) {
 		for _, m := range h.machines {
 			m.StepTick()
 		}
+		if h.tap != nil {
+			h.tap.TapBarrier(elapsed + tick)
+		}
 		h.em.Dispatch(0)
+	}
+}
+
+// SetExitTap installs an exit-stream tap across the fleet: every machine's
+// Event Forwarder reports its decoded events and ticks, and the host reports
+// the once-per-round drain barrier of the shared EM. Fleet machines are
+// driven through StepTick, so the per-machine barrier never fires and the
+// capture carries exactly one barrier per round. Pass nil to detach.
+func (h *Host) SetExitTap(tap core.ExitStreamTap) {
+	h.tap = tap
+	for _, m := range h.machines {
+		m.SetExitTap(tap)
 	}
 }
 

@@ -124,6 +124,7 @@ type Machine struct {
 	seq    uint64
 	booted bool
 	paused bool
+	tap    core.ExitStreamTap
 
 	pendingNet []pendingPacket
 }
@@ -209,7 +210,21 @@ func (m *Machine) EnableMonitoring(feat intercept.Features) (*intercept.Engine, 
 		Now:      m.kernel.LocalNow,
 		Features: feat,
 	})
+	if m.tap != nil {
+		m.engine.SetTap(m.tap)
+	}
 	return m.engine, nil
+}
+
+// SetExitTap installs an exit-stream tap: the Event Forwarder reports every
+// decoded event to it before publication, and the machine reports its tick
+// and drain control points. Order relative to EnableMonitoring does not
+// matter. Pass nil to detach.
+func (m *Machine) SetExitTap(tap core.ExitStreamTap) {
+	m.tap = tap
+	if m.engine != nil {
+		m.engine.SetTap(tap)
+	}
 }
 
 // Boot boots the guest kernel.
@@ -280,6 +295,9 @@ func (m *Machine) RunUntil(max time.Duration, cond func() bool) {
 			return
 		}
 		m.stepTick()
+		if m.tap != nil {
+			m.tap.TapBarrier(m.clock.Now())
+		}
 		m.em.Dispatch(0)
 	}
 }
@@ -311,6 +329,12 @@ func (m *Machine) stepTick() {
 		for cpu := range m.vcpus {
 			m.kernel.RunSlice(cpu, start, tick)
 		}
+	}
+	// The tick is recorded before the clock advances so that, on replay,
+	// events decoded during the slice precede the timer deliveries Advance
+	// triggers — the same order the live schedule produced them in.
+	if m.tap != nil {
+		m.tap.TapTick(m.vmid, start+tick)
 	}
 	m.clock.Advance(tick)
 }
