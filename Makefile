@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet bench-trace bench-replay fuzz
+.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet bench-trace bench-replay bench-mpsc fuzz
 
 all: build
 
@@ -87,6 +87,15 @@ bench-fleet:
 # bare (decode floor) and through the full fleet auditor plane.
 bench-replay:
 	$(GO) run ./cmd/hotpath-bench -replay-only -replay-out results/BENCH_replay.json
+
+# Regenerate the multicore batched-delivery numbers (see
+# results/BENCH_mpsc.json): 4 producer goroutines — each the single writer
+# of its own SPSC ring — into one EM with 3 fleet-wide sync auditors at
+# GOMAXPROCS 1/2/4/8, per-event Publish vs ring+PublishBatch. CI runs the
+# same section with -mpsc-check against the committed report and fails on a
+# >20% lock-amortization regression.
+bench-mpsc:
+	$(GO) run ./cmd/hotpath-bench -mpsc-only -mpsc-out results/BENCH_mpsc.json
 
 # Coverage-guided fuzzing of the replay plane: mutated captures through the
 # full auditor wiring, hunting panics, parser over-acceptance, and

@@ -23,6 +23,11 @@
 //   - replay (written separately to -replay-out): exit-stream replay
 //     throughput over a generated million-event capture, bare decode vs the
 //     full fleet auditor plane — the cost of re-judging an incident bundle.
+//   - mpsc (written separately to -mpsc-out): aggregate events/sec from 4
+//     producer goroutines into one EM at GOMAXPROCS 1/2/4/8, per-event
+//     Publish vs SPSC ring + PublishBatch — the batched multicore delivery
+//     claim, with -mpsc-check as the CI regression gate on the lock
+//     amortization ratio.
 //
 // -cpuprofile/-memprofile wrap the whole run in a pprof capture so the next
 // perf PR starts from a profile instead of a guess. -baseline embeds a
@@ -114,6 +119,10 @@ func run() error {
 		replayOut  = flag.String("replay-out", "", "write the exit-stream replay report here (default stdout)")
 		replayOnly = flag.Bool("replay-only", false, "run only the exit-stream replay section")
 		replayEvs  = flag.Int("replay-events", 1_000_000, "event count for the generated replay capture")
+		mpscOut    = flag.String("mpsc-out", "", "write the multicore batched-delivery report here (default stdout)")
+		mpscOnly   = flag.Bool("mpsc-only", false, "run only the multicore batched-delivery section")
+		mpscCheck  = flag.String("mpsc-check", "", "fail if batching's lock amortization regressed >20% vs this baseline report")
+		mpscEvs    = flag.Int("mpsc-events", 200_000, "events per producer for the multicore section")
 	)
 	flag.Parse()
 	if counts, err := parseVMCounts(*vms); err != nil {
@@ -129,6 +138,9 @@ func run() error {
 	}
 	if *replayOnly {
 		return runReplayBench(*replayOut, *seed, *replayEvs)
+	}
+	if *mpscOnly {
+		return runMpscBench(*mpscOut, *mpscCheck, *mpscEvs)
 	}
 
 	if *cpuprofile != "" {
@@ -187,6 +199,11 @@ func run() error {
 	}
 	if *replayOut != "" {
 		if err := runReplayBench(*replayOut, *seed, *replayEvs); err != nil {
+			return err
+		}
+	}
+	if *mpscOut != "" {
+		if err := runMpscBench(*mpscOut, *mpscCheck, *mpscEvs); err != nil {
 			return err
 		}
 	}

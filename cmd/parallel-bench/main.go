@@ -35,6 +35,7 @@ type benchmark struct {
 type report struct {
 	CPUs       int         `json:"cpus"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	GoVersion  string      `json:"go_version"`
 	Note       string      `json:"note,omitempty"`
 	Benchmarks []benchmark `json:"benchmarks"`
 }
@@ -56,7 +57,7 @@ func bench() error {
 	flag.Parse()
 
 	workers := []int{1, 2, 4, 8}
-	rep := report{CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := report{CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
 	if rep.CPUs < workers[len(workers)-1] {
 		rep.Note = fmt.Sprintf("host has only %d CPU(s): worker counts beyond that measure "+
 			"scheduling overhead, not parallel speedup — rerun on multicore hardware", rep.CPUs)

@@ -35,3 +35,25 @@ func (r *Reporter) nap() {
 //
 //hypertap:allow lockdiscipline the violation this excused was removed
 func (r *Reporter) clean() {}
+
+// sample is the outlined-sampler shape: the periodic lock acquisition lives
+// in its own function so the batch loop body stays lock-free.
+func (r *Reporter) sample() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// batchSampled mirrors the EM's sampled batch loop: the loop-acquire rule
+// charges the outlined acquire at the call site via sample's summary, and a
+// reasoned line allow there is the sanctioned escape — one acquire per
+// sample stride is a design decision, not a per-event lock.
+//
+//hypertap:hotpath
+func (r *Reporter) batchSampled(evs []int) {
+	for i := range evs {
+		if i%256 == 0 {
+			//hypertap:allow lockdiscipline one acquire per sample stride, not per event; the helper is outlined so the loop body stays lock-free
+			r.sample()
+		}
+	}
+}

@@ -63,8 +63,21 @@ type Replay struct {
 	hasPending bool
 
 	divergences uint64
-	ev          core.Event
+	// batch is the reusable publish buffer: consecutive event records from
+	// one decode batch (same VM and exit sequence) are regrouped and
+	// republished as one PublishBatch, so view records a live batched run
+	// wrote after the whole batch's event records line up with the replayed
+	// auditors' reads. Batching is transparent to every downstream
+	// observable (see core.PublishBatch), so a capture whose live batch
+	// boundaries differ from the replay's regrouping still replays
+	// byte-identically.
+	batch []core.Event
 }
+
+// maxReplayBatch bounds one regrouped publish batch. The EF's decode-batch
+// index is 8 bits, so no honest capture has longer same-sequence runs; the
+// cap also bounds hostile captures that repeat one event record forever.
+const maxReplayBatch = 256
 
 // NewReplay parses the capture header from r and builds the replay plane:
 // one EM with the recorded VMs attached under their recorded names (so actor
@@ -134,10 +147,27 @@ func (rp *Replay) Run() error {
 		}
 		switch rec.Kind {
 		case recEvent:
-			// Publish copies into async rings, so the scratch event is safe
-			// to reuse across iterations.
-			rp.ev = rec.Event
-			rp.em.Publish(&rp.ev)
+			// Regroup the decode batch: consecutive event records carrying
+			// the same (VM, exit sequence) were forwarded by one HandleExit
+			// and republish as one batch. PublishBatch copies into async
+			// rings, so the scratch buffer is safe to reuse across
+			// iterations.
+			if rp.batch == nil {
+				rp.batch = make([]core.Event, 0, maxReplayBatch)
+			}
+			rp.batch = append(rp.batch[:0], rec.Event)
+			for len(rp.batch) < maxReplayBatch {
+				// rec aliases the lookahead slot peek refills, so match
+				// against the copy in batch[0].
+				nxt, err := rp.peek()
+				if err != nil || nxt.Kind != recEvent ||
+					nxt.Event.VM != rp.batch[0].VM || nxt.Event.Seq != rp.batch[0].Seq {
+					break
+				}
+				rp.batch = append(rp.batch, nxt.Event)
+				rp.hasPending = false
+			}
+			rp.em.PublishBatch(rp.batch)
 		case recTick:
 			if int(rec.VM) >= len(rp.clocks) {
 				rp.divergences++

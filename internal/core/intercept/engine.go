@@ -99,6 +99,17 @@ type Engine struct {
 	decoded  map[core.EventType]uint64
 	// batch accumulates decoded events during one HandleExit call.
 	batch []core.Event
+	// ring is this forwarder's SPSC conduit to the EM: decoded batches are
+	// staged into its preallocated slots under the engine lock (replacing a
+	// per-exit heap copy) and drained into PublishBatch after unlock, so the
+	// EM lock is paid once per decode batch. HandleExit is the sole producer
+	// and sole consumer; on real cores each VM's forwarder owns its ring, so
+	// forwarders never share publish buffers.
+	ring *core.EventRing
+	// spill holds decode overflow on the (never-in-practice) exit whose
+	// batch exceeds the ring; spilled events publish directly after the ring
+	// drains, preserving decode order.
+	spill []core.Event
 	// tap, when set, observes every decoded event just before publication —
 	// the capture plane's recording point (internal/capture).
 	tap core.ExitStreamTap
@@ -120,6 +131,7 @@ func New(cfg Config) *Engine {
 		tssRSP0GPA: make([]arch.GPA, cfg.Control.NumVCPUs()),
 		tssAlerted: make([]bool, cfg.Control.NumVCPUs()),
 		decoded:    make(map[core.EventType]uint64),
+		ring:       core.NewEventRing(0),
 	}
 	if e.now == nil {
 		e.now = func(int) time.Duration { return e.ctl.Now() }
@@ -190,20 +202,55 @@ func (e *Engine) HandleExit(exit *hav.Exit) {
 	default:
 		e.publishLocked(exit, core.EvRawExit, nil)
 	}
-	out := make([]core.Event, len(e.batch))
-	copy(out, e.batch)
+	// Stage the decode batch into the SPSC ring while still under the
+	// engine lock (one copy into preallocated slots, where it used to heap-
+	// allocate a fresh slice per exit), then drain after unlock so that
+	// synchronous auditors may safely call back into the engine.
+	staged := 0
+	for i := range e.batch {
+		if !e.ring.Push(&e.batch[i]) {
+			break
+		}
+		staged++
+	}
+	if staged < len(e.batch) {
+		e.spill = append(e.spill[:0], e.batch[staged:]...)
+	}
 	tap := e.tap
 	e.mu.Unlock()
 
-	// Publish records each event's flight exit record — the span's decode
-	// step — under the lock the rings' single-writer contract requires. The
-	// tap sees each event first, so a capture's record order is exactly the
-	// EM's publish order.
-	for i := range out {
-		if tap != nil {
-			tap.TapEvent(&out[i])
+	e.drain(tap)
+}
+
+// drain publishes everything staged for this exit: ring segments first,
+// then any spill, in decode order. The tap sees every event of a segment
+// before the segment publishes, so a capture's record order is exactly the
+// EM's publish order — and because publish batching is transparent (see
+// core.PublishBatch), replaying that capture under any regrouping of the
+// same order is byte-identical. Ring slots are released only after
+// PublishBatch returns: the batch borrows them as its arena.
+func (e *Engine) drain(tap core.ExitStreamTap) {
+	for {
+		seg := e.ring.Peek()
+		if len(seg) == 0 {
+			break
 		}
-		e.em.Publish(&out[i])
+		if tap != nil {
+			for i := range seg {
+				tap.TapEvent(&seg[i])
+			}
+		}
+		e.em.PublishBatch(seg)
+		e.ring.Release(len(seg))
+	}
+	if len(e.spill) > 0 {
+		if tap != nil {
+			for i := range e.spill {
+				tap.TapEvent(&e.spill[i])
+			}
+		}
+		e.em.PublishBatch(e.spill)
+		e.spill = e.spill[:0]
 	}
 }
 

@@ -39,9 +39,27 @@ type vmRoutes struct {
 // plus an overflow table holding only the fleet-wide subscribers for events
 // stamped with a VMID no one attached — those can belong to no VM-scoped
 // auditor, but a fleet-wide accountant still must not miss them.
+//
+// A table is immutable once installed: rebuilds construct a fresh table and
+// publish it wholesale through the Multiplexer's atomic pointer (copy-on-
+// write), so readers — concurrent publishers, flight-ring snapshots — load
+// one pointer and never serialize on table access or observe a half-rebuilt
+// slot.
 type routeTable struct {
 	perVM    []vmRoutes
 	overflow vmRoutes
+}
+
+// vmFor returns the route slot covering VM vm; events stamped with a VMID no
+// one attached carry no VM-scoped audience and route to the fleet-only
+// overflow table.
+//
+//hypertap:hotpath
+func (rt *routeTable) vmFor(vm VMID) *vmRoutes {
+	if int(vm) < len(rt.perVM) {
+		return &rt.perVM[vm]
+	}
+	return &rt.overflow
 }
 
 // routeIndex maps an event type to its table slot.

@@ -1,0 +1,130 @@
+package core
+
+import "sync/atomic"
+
+// Single-producer single-consumer event rings: the per-VM conduit from an
+// Event Forwarder to the EM. On real cores each vCPU thread decodes exits
+// and pushes into its own ring without touching the EM lock; the consumer
+// drains contiguous segments straight into PublishBatch, so the global lock
+// is paid once per segment instead of once per event. The slots double as
+// the batch's arena: a segment is handed to the EM by reference and its
+// slots are only recycled after delivery completes, so the whole path moves
+// each event exactly once (decode buffer → slot) and allocates nothing.
+//
+// The SPSC contract is strict: exactly one goroutine calls Push, exactly
+// one calls Peek/Release/Drain. The producer and consumer may be the same
+// goroutine (the simulator's solo path), in which case the ring is simply a
+// preallocated staging buffer.
+
+// DefaultEventRingCap is the per-ring slot count used when NewEventRing is
+// given a non-positive capacity. It comfortably holds the largest decode
+// batch the EF produces (a handful of events per exit) with room for a
+// consumer that drains once per tick rather than per exit.
+const DefaultEventRingCap = 1024
+
+// EventRing is a bounded single-producer single-consumer ring of events.
+// head and tail are monotonic cursors (slot = cursor & mask); head==tail
+// means empty, tail-head==len(slots) means full. The pads keep the two
+// cursors on separate cache lines so producer stores never invalidate the
+// consumer's line and vice versa.
+type EventRing struct {
+	slots []Event
+	mask  uint64
+	_     [48]byte
+	// head is the consumer cursor: the next slot to read. Only Release
+	// advances it, and only after delivery of the released slots has
+	// completed, so the producer can never overwrite an event the EM is
+	// still reading.
+	head atomic.Uint64
+	_    [56]byte
+	// tail is the producer cursor: the next slot to write. The slot write
+	// happens before the tail store, and Go's sync/atomic gives that store
+	// release semantics, so a consumer that observes the new tail observes
+	// the slot contents too.
+	tail atomic.Uint64
+	_    [56]byte
+}
+
+// NewEventRing creates a ring with at least capacity slots (rounded up to a
+// power of two; non-positive means DefaultEventRingCap).
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = DefaultEventRingCap
+	}
+	d := 1
+	for d < capacity {
+		d <<= 1
+	}
+	r := &EventRing{}
+	r.slots = make([]Event, d)
+	r.mask = uint64(d - 1)
+	return r
+}
+
+// Cap returns the ring's slot count.
+func (r *EventRing) Cap() int { return len(r.slots) }
+
+// Len returns the number of events currently staged. Exact only on the
+// producer or consumer goroutine; a point-in-time lower bound elsewhere.
+func (r *EventRing) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Push stages one event, returning false when the ring is full. Producer
+// side only.
+//
+//hypertap:hotpath
+func (r *EventRing) Push(ev *Event) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.slots)) {
+		return false
+	}
+	r.slots[t&r.mask] = *ev
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Peek returns the longest contiguous staged segment (empty ring → nil). It
+// does not consume: the returned slice aliases ring slots and stays valid
+// until Release frees them. Consumer side only. A wrapped ring needs two
+// Peek/Release rounds; the split is harmless because publish batching is
+// transparent (see PublishBatch).
+func (r *EventRing) Peek() []Event {
+	h := r.head.Load()
+	t := r.tail.Load()
+	if h == t {
+		return nil
+	}
+	i := h & r.mask
+	n := t - h
+	if c := uint64(len(r.slots)) - i; n > c {
+		n = c
+	}
+	return r.slots[i : i+n]
+}
+
+// Release frees the first n peeked slots for the producer to reuse. Call it
+// only after the peeked events have been fully delivered. Consumer side
+// only.
+func (r *EventRing) Release(n int) {
+	r.head.Store(r.head.Load() + uint64(n))
+}
+
+// Drain publishes everything staged so far through em.PublishBatch in
+// contiguous segments of at most maxBatch events (non-positive means
+// segment = everything contiguous) and returns the number delivered.
+// Consumer side only. Slots are released only after their segment's
+// delivery returns, keeping the borrow sound.
+func (r *EventRing) Drain(em *Multiplexer, maxBatch int) int {
+	total := 0
+	for {
+		seg := r.Peek()
+		if len(seg) == 0 {
+			return total
+		}
+		if maxBatch > 0 && len(seg) > maxBatch {
+			seg = seg[:maxBatch]
+		}
+		em.PublishBatch(seg)
+		r.Release(len(seg))
+		total += len(seg)
+	}
+}

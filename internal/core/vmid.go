@@ -83,7 +83,7 @@ func (m *Multiplexer) AttachVM(name string) (VMID, error) {
 	if m.tel != nil {
 		m.registerVMSeriesLocked(id)
 	}
-	m.routes.rebuild(m.subs, len(m.vms))
+	m.rebuildRoutesLocked()
 	return id, nil
 }
 

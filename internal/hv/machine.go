@@ -266,15 +266,11 @@ func (m *Machine) handleExit(exit *hav.Exit) {
 	}
 }
 
-// syncDelivered sums synchronous deliveries across subscriptions.
+// syncDelivered reads the EM's synchronous delivery total — a single
+// counter folded per publish batch, replacing a Stats() walk that allocated
+// a slice on every exit.
 func (m *Machine) syncDelivered() uint64 {
-	var n uint64
-	for _, s := range m.em.Stats() {
-		if s.Mode == core.DeliverSync {
-			n += s.Delivered
-		}
-	}
-	return n
+	return m.em.SyncDelivered()
 }
 
 // Run advances the VM by d of virtual time in tick-sized steps, draining
