@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet bench-trace bench-replay bench-mpsc fuzz
+.PHONY: all build test check fmt vet vet-invariants race equivalence bench-smoke bench-telemetry bench-parallel bench-hotpath bench-fleet bench-trace bench-replay bench-mpsc bench-cluster fuzz
 
 all: build
 
@@ -38,18 +38,23 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/telemetry/... ./internal/experiment/... ./internal/hv/... ./internal/host/... ./internal/capture/...
+	$(GO) test -race -short ./internal/core/... ./internal/telemetry/... ./internal/experiment/... ./internal/hv/... ./internal/host/... ./internal/capture/... ./internal/cluster/...
 
 # The equivalence suites: serial≡parallel for the sharded campaign engine
 # (including fleet campaigns whose unit is an N-VM host), N-VM-host ≡
-# N-isolated-VMs for the host fleet plane, and capture→replay ≡ live for the
-# exit-stream record/replay plane (solo and 8-VM fleet). GOMAXPROCS=4 forces
-# real scheduling interleavings even on small runners, and -race turns any
-# unserialized progress/telemetry access into a failure.
+# N-isolated-VMs for the host fleet plane, capture→replay ≡ live for the
+# exit-stream record/replay plane (solo and 8-VM fleet), and the two cluster
+# gates — M-host cluster ≡ M solo hosts, and a mid-campaign live migration
+# preserving every auditor verdict, flight ring and .htcs stream
+# byte-for-byte (the TestClusterMigration prefix covers both the verdict and
+# capture-stream legs). GOMAXPROCS=4 forces real scheduling interleavings
+# even on small runners, and -race turns any unserialized progress/telemetry
+# access into a failure.
 equivalence:
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestParallelMatchesSerial|TestShowdownUnitIsolation|TestFleetCampaignParallelMatchesSerial' ./internal/experiment ./internal/experiment/runner
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestFleetEquivalence|TestFleetSharedRHC' ./internal/host
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 -run 'TestSoloReplayEquivalence|TestFleetReplayEquivalence|TestReplayDeterminism' ./internal/capture
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestClusterEquivalenceSoloHosts|TestClusterMigration' ./internal/cluster
 
 # Compile and run every benchmark exactly once, so a broken benchmark is a
 # gate failure rather than a surprise at measurement time.
@@ -96,6 +101,12 @@ bench-replay:
 # >20% lock-amortization regression.
 bench-mpsc:
 	$(GO) run ./cmd/hotpath-bench -mpsc-only -mpsc-out results/BENCH_mpsc.json
+
+# Regenerate the cluster scaling numbers (see results/BENCH_cluster.json):
+# whole-cluster stepping throughput at 1/2/4 hosts x 2 VMs under the shared
+# datacenter clock, plus the wall cost of one live migration.
+bench-cluster:
+	$(GO) run ./cmd/hotpath-bench -cluster-only -cluster-out results/BENCH_cluster.json
 
 # Coverage-guided fuzzing of the replay plane: mutated captures through the
 # full auditor wiring, hunting panics, parser over-acceptance, and

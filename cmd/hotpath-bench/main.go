@@ -28,6 +28,10 @@
 //     Publish vs SPSC ring + PublishBatch — the batched multicore delivery
 //     claim, with -mpsc-check as the CI regression gate on the lock
 //     amortization ratio.
+//   - cluster (written separately to -cluster-out): whole-cluster stepping
+//     throughput at 1/2/4 hosts x 2 VMs under the shared datacenter clock,
+//     plus the wall cost of one live migration — the cluster plane's
+//     "stepping M hosts is M times one host" scaling claim.
 //
 // -cpuprofile/-memprofile wrap the whole run in a pprof capture so the next
 // perf PR starts from a profile instead of a guess. -baseline embeds a
@@ -105,24 +109,26 @@ func main() {
 
 func run() error {
 	var (
-		out        = flag.String("out", "", "write the JSON report here (default stdout)")
-		baseline   = flag.String("baseline", "", "embed a prior report as the before column")
-		seed       = flag.Int64("seed", 1, "deterministic seed")
-		skipCamp   = flag.Bool("skip-campaigns", false, "skip the end-to-end campaign timings")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit")
-		vms        = flag.String("vms", "1,2,4,8", "comma-separated VM counts for the fleet scaling section")
-		fleetOut   = flag.String("fleet-out", "", "write the fleet scaling report here (default stdout)")
-		fleetOnly  = flag.Bool("fleet-only", false, "run only the fleet scaling section")
-		traceOut   = flag.String("trace-out", "", "write the tracing-plane overhead report here (default stdout)")
-		traceOnly  = flag.Bool("trace-only", false, "run only the tracing-plane overhead section")
-		replayOut  = flag.String("replay-out", "", "write the exit-stream replay report here (default stdout)")
-		replayOnly = flag.Bool("replay-only", false, "run only the exit-stream replay section")
-		replayEvs  = flag.Int("replay-events", 1_000_000, "event count for the generated replay capture")
-		mpscOut    = flag.String("mpsc-out", "", "write the multicore batched-delivery report here (default stdout)")
-		mpscOnly   = flag.Bool("mpsc-only", false, "run only the multicore batched-delivery section")
-		mpscCheck  = flag.String("mpsc-check", "", "fail if batching's lock amortization regressed >20% vs this baseline report")
-		mpscEvs    = flag.Int("mpsc-events", 200_000, "events per producer for the multicore section")
+		out         = flag.String("out", "", "write the JSON report here (default stdout)")
+		baseline    = flag.String("baseline", "", "embed a prior report as the before column")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
+		skipCamp    = flag.Bool("skip-campaigns", false, "skip the end-to-end campaign timings")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile at exit")
+		vms         = flag.String("vms", "1,2,4,8", "comma-separated VM counts for the fleet scaling section")
+		fleetOut    = flag.String("fleet-out", "", "write the fleet scaling report here (default stdout)")
+		fleetOnly   = flag.Bool("fleet-only", false, "run only the fleet scaling section")
+		traceOut    = flag.String("trace-out", "", "write the tracing-plane overhead report here (default stdout)")
+		traceOnly   = flag.Bool("trace-only", false, "run only the tracing-plane overhead section")
+		replayOut   = flag.String("replay-out", "", "write the exit-stream replay report here (default stdout)")
+		replayOnly  = flag.Bool("replay-only", false, "run only the exit-stream replay section")
+		replayEvs   = flag.Int("replay-events", 1_000_000, "event count for the generated replay capture")
+		mpscOut     = flag.String("mpsc-out", "", "write the multicore batched-delivery report here (default stdout)")
+		mpscOnly    = flag.Bool("mpsc-only", false, "run only the multicore batched-delivery section")
+		mpscCheck   = flag.String("mpsc-check", "", "fail if batching's lock amortization regressed >20% vs this baseline report")
+		mpscEvs     = flag.Int("mpsc-events", 200_000, "events per producer for the multicore section")
+		clusterOut  = flag.String("cluster-out", "", "write the cluster scaling report here (default stdout)")
+		clusterOnly = flag.Bool("cluster-only", false, "run only the cluster scaling section")
 	)
 	flag.Parse()
 	if counts, err := parseVMCounts(*vms); err != nil {
@@ -141,6 +147,9 @@ func run() error {
 	}
 	if *mpscOnly {
 		return runMpscBench(*mpscOut, *mpscCheck, *mpscEvs)
+	}
+	if *clusterOnly {
+		return runClusterBench(*clusterOut, *seed)
 	}
 
 	if *cpuprofile != "" {
@@ -204,6 +213,11 @@ func run() error {
 	}
 	if *mpscOut != "" {
 		if err := runMpscBench(*mpscOut, *mpscCheck, *mpscEvs); err != nil {
+			return err
+		}
+	}
+	if *clusterOut != "" {
+		if err := runClusterBench(*clusterOut, *seed); err != nil {
 			return err
 		}
 	}

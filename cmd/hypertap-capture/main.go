@@ -87,6 +87,7 @@ func runRecord(args []string) error {
 // streamInfo is the info-mode tally (also its -json shape).
 type streamInfo struct {
 	Version    int              `json:"version"`
+	Host       string           `json:"host,omitempty"`
 	Tick       time.Duration    `json:"tick_ns"`
 	VMs        []vmInfo         `json:"vms"`
 	Records    map[string]int64 `json:"records"`
@@ -96,6 +97,7 @@ type streamInfo struct {
 }
 
 type vmInfo struct {
+	ID     int    `json:"id"`
 	Name   string `json:"name"`
 	VCPUs  int    `json:"vcpus"`
 	Events int64  `json:"events"`
@@ -127,13 +129,18 @@ func runInfo(args []string) error {
 	}
 	hdr := rd.Header()
 	info := streamInfo{
-		Version: capture.Version,
+		Version: rd.Version(),
+		Host:    hdr.Host,
 		Tick:    hdr.Tick,
 		Records: map[string]int64{},
 		Bytes:   st.Size(),
 	}
+	// Cluster (v2) streams carry sparse VMIDs, so the per-VM tally can't
+	// index info.VMs by rec.Event.VM directly.
+	slot := make(map[core.VMID]int, len(hdr.VMs))
 	for _, vm := range hdr.VMs {
-		info.VMs = append(info.VMs, vmInfo{Name: vm.Name, VCPUs: vm.VCPUs})
+		slot[vm.ID] = len(info.VMs)
+		info.VMs = append(info.VMs, vmInfo{ID: int(vm.ID), Name: vm.Name, VCPUs: vm.VCPUs})
 	}
 	var rec capture.Record
 	for {
@@ -151,15 +158,15 @@ func runInfo(args []string) error {
 		info.Records[name]++
 		switch name {
 		case "event":
-			if int(rec.Event.VM) < len(info.VMs) {
-				info.VMs[rec.Event.VM].Events++
+			if i, ok := slot[rec.Event.VM]; ok {
+				info.VMs[i].Events++
 			}
 			if rec.Event.Time > info.VirtualEnd {
 				info.VirtualEnd = rec.Event.Time
 			}
 		case "tick":
-			if int(rec.VM) < len(info.VMs) {
-				info.VMs[rec.VM].Ticks++
+			if i, ok := slot[rec.VM]; ok {
+				info.VMs[i].Ticks++
 			}
 			if rec.Now > info.VirtualEnd {
 				info.VirtualEnd = rec.Now
@@ -177,6 +184,9 @@ func runInfo(args []string) error {
 		return enc.Encode(&info)
 	}
 	fmt.Printf("%s: format v%d, %d bytes, tick %v\n", path, info.Version, info.Bytes, info.Tick)
+	if info.Host != "" {
+		fmt.Printf("host: %s\n", info.Host)
+	}
 	fmt.Printf("records:")
 	for _, k := range []string{"event", "tick", "barrier", "view", "counter", "end"} {
 		if n := info.Records[k]; n > 0 {
@@ -185,7 +195,7 @@ func runInfo(args []string) error {
 	}
 	fmt.Printf("\nvirtual extent: %v  clean end marker: %v\n", info.VirtualEnd, info.Ended)
 	for _, vm := range info.VMs {
-		fmt.Printf("  %-12s %d vCPUs  %8d events  %6d ticks\n", vm.Name, vm.VCPUs, vm.Events, vm.Ticks)
+		fmt.Printf("  %-12s vmid %-5d %d vCPUs  %8d events  %6d ticks\n", vm.Name, vm.ID, vm.VCPUs, vm.Events, vm.Ticks)
 	}
 	return nil
 }
@@ -250,9 +260,12 @@ func replayStream(f *os.File, threshold time.Duration, strict bool) (*experiment
 	hdr := rp.Header()
 	dets := make([]*goshd.Detector, len(hdr.VMs))
 	for j := range dets {
+		// Cluster (v2) captures carry sparse VMIDs — scope each detector to
+		// the header's recorded ID, not the table slot.
+		vm := hdr.VMs[j].ID
 		det, err := goshd.New(goshd.Config{
-			VM:        core.VMID(j),
-			Clock:     rp.Clock(core.VMID(j)),
+			VM:        vm,
+			Clock:     rp.Clock(vm),
 			VCPUs:     hdr.VMs[j].VCPUs,
 			Threshold: threshold,
 		})
@@ -274,11 +287,11 @@ func replayStream(f *os.File, threshold time.Duration, strict bool) (*experiment
 	if err := rp.Run(); err != nil {
 		return nil, err
 	}
-	rep := &experiment.StreamReplayReport{Divergences: rp.Divergences()}
+	rep := &experiment.StreamReplayReport{Host: hdr.Host, Divergences: rp.Divergences()}
 	for j := range hdr.VMs {
 		vm := experiment.StreamVMReport{
 			Name:   hdr.VMs[j].Name,
-			Events: em.PublishedVM(core.VMID(j)),
+			Events: em.PublishedVM(hdr.VMs[j].ID),
 			Alarms: len(dets[j].Alarms()),
 		}
 		rep.VMs = append(rep.VMs, vm)

@@ -41,6 +41,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hypertap", flag.ContinueOnError)
 	var (
 		duration  = fs.Duration("duration", 10*time.Second, "virtual time to run")
+		hosts     = fs.Int("hosts", 1, "hosts stepped under one shared cluster clock; >1 selects the cluster demo path")
+		migrateAt = fs.Duration("migrate-at", 0, "with -hosts>1: live-migrate host0's first VM to host1 at this virtual time (0 = no migration)")
 		vms       = fs.Int("vms", 1, "guest VMs sharing the host's Event Multiplexer")
 		vcpus     = fs.Int("vcpus", 2, "virtual CPUs per VM")
 		sysenter  = fs.Bool("sysenter", false, "use the fast-syscall gate instead of INT 0x80")
@@ -57,6 +59,19 @@ func run(args []string) error {
 	}
 	if *vms < 1 {
 		return fmt.Errorf("-vms must be at least 1, got %d", *vms)
+	}
+	if *hosts > 1 {
+		if *withRHC || *traceFile != "" || *telAddr != "" || *flightDir != "" {
+			return fmt.Errorf("-rhc, -trace, -telemetry-addr and -flight-dir are single-host flags; not supported with -hosts=%d", *hosts)
+		}
+		return runCluster(clusterOpts{
+			hosts: *hosts, vms: *vms, vcpus: *vcpus,
+			duration: *duration, migrateAt: *migrateAt,
+			seed: *seed, sysenter: *sysenter,
+			features: intercept.Features{
+				ProcessSwitch: true, ThreadSwitch: true, TSSIntegrity: true, Syscalls: true, IO: true,
+			},
+		})
 	}
 
 	var reg *telemetry.Registry

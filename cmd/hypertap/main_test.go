@@ -58,6 +58,24 @@ func TestSmokeDefaults(t *testing.T) {
 	}
 }
 
+// TestSmokeCluster drives the -hosts>1 demo path with a mid-run migration,
+// and pins that the single-host-only flags are rejected in cluster mode.
+func TestSmokeCluster(t *testing.T) {
+	args := []string{
+		"-duration", "60ms",
+		"-hosts", "2",
+		"-vms", "1",
+		"-migrate-at", "30ms",
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	err := run([]string{"-hosts", "2", "-rhc"})
+	if err == nil || !strings.Contains(err.Error(), "single-host") {
+		t.Fatalf("cluster mode with -rhc: err = %v, want single-host flag complaint", err)
+	}
+}
+
 // TestSmokeFlightDisabled pins the -flight-depth<0 escape hatch: tracing off,
 // and asking for a drain anyway is a configuration error.
 func TestSmokeFlightDisabled(t *testing.T) {

@@ -37,6 +37,7 @@ func (SeedFlow) Doc() string {
 var seedScopePkgs = []string{
 	"hypertap/internal/experiment/...",
 	"hypertap/internal/workload",
+	"hypertap/internal/cluster",
 }
 
 // provKind classifies a seed expression's origin.

@@ -1,0 +1,41 @@
+// Package fixture exercises the cluster-plane scoping: internal/cluster is a
+// deterministic package (one shared virtual clock steps every host), so wall
+// reads and literal RNG seeds are reportable there, while durations and
+// config-threaded seeds stay clean.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stepHosts pretends to be the shared-clock loop; pacing it off the host's
+// wall clock is exactly the bug the scoping exists to catch.
+func stepHosts() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// placeVMs seeds placement from a literal: every cluster campaign would pick
+// the same hosts.
+func placeVMs() int {
+	rng := rand.New(rand.NewSource(7))
+	return rng.Intn(4)
+}
+
+// clean: durations are types and constants, not clock reads, and a seed
+// stored in configuration is provenance the seedflow pass accepts.
+type config struct {
+	Seed      int64
+	SickAfter time.Duration
+}
+
+func placeSeeded(cfg config) int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return rng.Intn(4)
+}
+
+func deadline(cfg config) time.Duration {
+	return 3 * cfg.SickAfter
+}

@@ -192,9 +192,9 @@ type staticCounter int
 
 func (c staticCounter) CountProcesses() int { return int(c) }
 
-// TestVersionSkew pins the version gate: a v2 stream (same magic, bumped
-// version byte) is rejected by this v1 reader with ErrUnsupportedVersion and
-// an error message naming both versions.
+// TestVersionSkew pins the version gate: a stream from a future format (same
+// magic, bumped version byte) is rejected with ErrUnsupportedVersion and an
+// error message naming the understood versions.
 func TestVersionSkew(t *testing.T) {
 	var buf bytes.Buffer
 	rec, err := NewRecorder(&buf, testHeader())
@@ -207,13 +207,13 @@ func TestVersionSkew(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	raw[4] = 2 // version byte follows the 4-byte magic
+	raw[4] = 3 // version byte follows the 4-byte magic
 
 	_, err = NewReader(bytes.NewReader(raw))
 	if !errors.Is(err, ErrUnsupportedVersion) {
-		t.Fatalf("v2 header: got %v, want ErrUnsupportedVersion", err)
+		t.Fatalf("v3 header: got %v, want ErrUnsupportedVersion", err)
 	}
-	for _, want := range []string{"v2", "v1"} {
+	for _, want := range []string{"v3", "v1", "v2"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("version error %q does not name %s", err, want)
 		}

@@ -32,7 +32,7 @@ func replayForDeterminism(t *testing.T, data []byte, sym guest.Symbols) replayVe
 	}
 	reg := telemetry.NewRegistry()
 	rp.EM().EnableTelemetry(reg)
-	auds := wireSoloAuditors(t, rp.EM(), rp.Clock(0), rp.Header().VMs[0].VCPUs,
+	auds := wireSoloAuditors(t, rp.EM(), 0, rp.Clock(0), rp.Header().VMs[0].VCPUs,
 		rp.View(0), rp.Counter(0), sym)
 	auds.gos.EnableTelemetry(reg)
 	auds.fw.EnableTelemetry(reg)

@@ -73,19 +73,21 @@ type soloAuditors struct {
 	nin *ped.HTNinja
 }
 
-// buildSoloAuditors registers the full set on em. view/counter are the live
-// machine wrapped by the recorder, or the replay's stream-backed
-// implementations — the auditors cannot tell the difference, which is the
-// point. It is t-free so the fuzz harness can share the exact wiring.
-func buildSoloAuditors(em *core.Multiplexer, clock *vclock.Clock,
+// buildSoloAuditors registers the full set on em, scoped to VM vm — the
+// anchor VM of the stream, which is 0 for solo captures but sparse (nonzero)
+// for cluster-era streams. view/counter are the live machine wrapped by the
+// recorder, or the replay's stream-backed implementations — the auditors
+// cannot tell the difference, which is the point. It is t-free so the fuzz
+// harness can share the exact wiring.
+func buildSoloAuditors(em *core.Multiplexer, vm core.VMID, clock *vclock.Clock,
 	vcpus int, view core.GuestView, counter hrkd.ProcessCounter, sym guest.Symbols) (*soloAuditors, error) {
-	s := &soloAuditors{col: &capCollector{vm: 0}}
+	s := &soloAuditors{col: &capCollector{vm: vm}}
 	if err := em.RegisterAuditor(s.col, core.DeliverSync, 0); err != nil {
 		return nil, err
 	}
 	var err error
 	if s.gos, err = goshd.New(goshd.Config{
-		Clock: clock, VCPUs: vcpus, Threshold: 30 * time.Millisecond,
+		VM: vm, Clock: clock, VCPUs: vcpus, Threshold: 30 * time.Millisecond,
 	}); err != nil {
 		return nil, err
 	}
@@ -98,7 +100,7 @@ func buildSoloAuditors(em *core.Multiplexer, clock *vclock.Clock,
 	}
 	intro := vmi.New(view, sym)
 	if s.hr, err = hrkd.New(hrkd.Config{
-		View: view, Counter: counter, Intro: intro,
+		VM: vm, View: view, Counter: counter, Intro: intro,
 	}); err != nil {
 		return nil, err
 	}
@@ -106,7 +108,7 @@ func buildSoloAuditors(em *core.Multiplexer, clock *vclock.Clock,
 		return nil, err
 	}
 	if s.nin, err = ped.NewHTNinja(ped.HTNinjaConfig{
-		Policy: ped.DefaultPolicy(), View: view, Intro: intro,
+		Policy: ped.DefaultPolicy(), VM: vm, View: view, Intro: intro,
 	}); err != nil {
 		return nil, err
 	}
@@ -116,10 +118,10 @@ func buildSoloAuditors(em *core.Multiplexer, clock *vclock.Clock,
 	return s, nil
 }
 
-func wireSoloAuditors(t *testing.T, em *core.Multiplexer, clock *vclock.Clock,
+func wireSoloAuditors(t *testing.T, em *core.Multiplexer, vm core.VMID, clock *vclock.Clock,
 	vcpus int, view core.GuestView, counter hrkd.ProcessCounter, sym guest.Symbols) *soloAuditors {
 	t.Helper()
-	s, err := buildSoloAuditors(em, clock, vcpus, view, counter, sym)
+	s, err := buildSoloAuditors(em, vm, clock, vcpus, view, counter, sym)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func liveSoloRun(t *testing.T) ([]byte, soloOutcome, guest.Symbols) {
 	view := rec.View(m, 0)
 	counter := rec.Counter(engine, 0)
 	sym := m.Kernel().Symbols()
-	auds := wireSoloAuditors(t, m.EM(), m.Clock(), m.NumVCPUs(), view, counter, sym)
+	auds := wireSoloAuditors(t, m.EM(), 0, m.Clock(), m.NumVCPUs(), view, counter, sym)
 	auds.gos.Start()
 	for i := 0; i < 2; i++ {
 		if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
@@ -277,7 +279,7 @@ func replaySoloRun(t *testing.T, data []byte, sym guest.Symbols) (soloOutcome, *
 		t.Fatal(err)
 	}
 	hdr := rp.Header()
-	auds := wireSoloAuditors(t, rp.EM(), rp.Clock(0), hdr.VMs[0].VCPUs,
+	auds := wireSoloAuditors(t, rp.EM(), 0, rp.Clock(0), hdr.VMs[0].VCPUs,
 		rp.View(0), rp.Counter(0), sym)
 	auds.gos.Start()
 	if err := rp.Run(); err != nil {

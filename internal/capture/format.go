@@ -4,10 +4,13 @@
 // and a Replay engine that drives the Event Multiplexer, routing table and
 // auditors to byte-identical verdicts without a live guest.
 //
-// A capture is a header followed by a flat sequence of records:
+// A capture is a header followed by a flat sequence of records. Two header
+// layouts exist; the records are identical under both:
 //
-//	header:  magic "HTCS" | version u8 | flags u8 | tick i64 |
+//	v1 head: magic "HTCS" | 1 | flags u8 | tick i64 |
 //	         nVMs u16 | nVMs × { nameLen u8, name, vcpus u16 }
+//	v2 head: magic "HTCS" | 2 | flags u8 | tick i64 | hostLen u8 | host |
+//	         nVMs u16 | nVMs × { id u16, nameLen u8, name, vcpus u16 }
 //	event:   kind=1 | type u8 | vm u16 | vcpu u16 | seq u64 | span u64 |
 //	         time i64 | reason u8 | registers (89 bytes) | payload
 //	tick:    kind=2 | vm u16 | now i64       (before the VM clock advances)
@@ -21,6 +24,14 @@
 // carry a generic payload of every decoded field, so round-tripping is the
 // identity for any type a future Event Forwarder might mint.
 //
+// The v1 header is the solo-host form: VMIDs are implicit (slot i is VMID i)
+// and the host is anonymous. The v2 header carries the cluster plane's
+// identity — the recording host's name and each VM's explicit VMID, so a VM
+// whose ID lives in a sparse cluster range ([h·N, h·N+N)) keeps that identity
+// through capture, migration and replay. The writer emits v1 whenever v1 can
+// express the header (no host name, dense IDs), so pre-cluster captures stay
+// byte-identical; readers accept both.
+//
 // View and counter records capture the results of every GuestView read the
 // auditors performed, in issue order. On replay the same auditors, driven by
 // the same events, pop the same records from the stream — the guest itself is
@@ -29,12 +40,20 @@ package capture
 
 import (
 	"time"
+
+	"hypertap/internal/core"
 )
 
-// Version is the current capture format version. A reader rejects any other
-// version outright: record framing is version-specific, so decoding skewed
-// data would produce garbage events, not graceful degradation.
-const Version = 1
+// Version is the current capture format version. Readers accept the current
+// version and VersionSolo; anything else is rejected outright — record
+// framing is version-specific, so decoding skewed data would produce garbage
+// events, not graceful degradation.
+const Version = 2
+
+// VersionSolo is the original header layout: implicit dense VMIDs, no host
+// name. Writers still emit it whenever it can express the header, so captures
+// from pre-cluster deployments stay byte-identical.
+const VersionSolo = 1
 
 // magic identifies a HyperTap capture stream.
 var magic = [4]byte{'H', 'T', 'C', 'S'}
@@ -93,6 +112,11 @@ const (
 
 // VMHeader describes one recorded VM.
 type VMHeader struct {
+	// ID is the VM's VMID on the recording host. Solo hosts leave it zero
+	// across the table and the writer assigns dense IDs (slot i is VMID i);
+	// cluster hosts carry their sparse range explicitly so the ID — and with
+	// it every SpanID and flight record — survives migration and replay.
+	ID core.VMID
 	// Name is the VM's EM attachment name; replay re-attaches under it so
 	// actor tables and per-VM routes line up with the live run.
 	Name string
@@ -100,11 +124,36 @@ type VMHeader struct {
 	VCPUs int
 }
 
-// Header describes a capture: the schedule tick and the VM table, in VMID
-// order (slot i is VMID i, the host plane's invariant).
+// Header describes a capture: the recording host, the schedule tick and the
+// VM table. Readers always populate VMHeader.ID — implicitly dense for solo
+// (v1) streams, explicit for cluster (v2) streams.
 type Header struct {
+	// Host names the recording host; empty for solo captures.
+	Host string
+	// VMs lists the recorded VMs in table order.
+	VMs []VMHeader
 	// Tick is the scheduler granularity of the recorded run.
 	Tick time.Duration
-	// VMs lists the recorded VMs in VMID order.
-	VMs []VMHeader
+}
+
+// denseIDs reports whether the VM table's IDs are expressible by the v1
+// header: either every ID is zero (the solo form — the writer assigns slot
+// order) or the IDs are explicitly 0..n-1 in order.
+func (h *Header) denseIDs() bool {
+	explicit := false
+	for _, vm := range h.VMs {
+		if vm.ID != 0 {
+			explicit = true
+			break
+		}
+	}
+	if !explicit {
+		return true
+	}
+	for i, vm := range h.VMs {
+		if vm.ID != core.VMID(i) {
+			return false
+		}
+	}
+	return true
 }

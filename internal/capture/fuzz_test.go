@@ -44,8 +44,11 @@ func fuzzReplayOnce(data []byte) []byte {
 	// makes every introspection walk take its error path — also worth
 	// fuzzing. Construction can only fail on duplicate registration, which a
 	// fresh EM rules out, so a failure here is itself a finding (panic).
-	auds, err := buildSoloAuditors(rp.EM(), rp.Clock(0), rp.Header().VMs[0].VCPUs,
-		rp.View(0), rp.Counter(0), guest.Symbols{})
+	// The first header VM's wire ID anchors the wiring — a v2 (cluster)
+	// stream's IDs are sparse, so 0 may not exist.
+	vm0 := rp.Header().VMs[0].ID
+	auds, err := buildSoloAuditors(rp.EM(), vm0, rp.Clock(vm0), rp.Header().VMs[0].VCPUs,
+		rp.View(vm0), rp.Counter(vm0), guest.Symbols{})
 	if err != nil {
 		panic("capture: fuzz auditor wiring failed: " + err.Error())
 	}
@@ -64,8 +67,8 @@ func fuzzReplayOnce(data []byte) []byte {
 	} else {
 		fmt.Fprintf(&sum, "crosscheck err: %v\n", err)
 	}
-	for vm := range rp.Header().VMs {
-		for _, rec := range rp.EM().FlightExits(core.VMID(vm)) {
+	for _, hvm := range rp.Header().VMs {
+		for _, rec := range rp.EM().FlightExits(hvm.ID) {
 			fmt.Fprintf(&sum, "exit %d %d %d %d %d %d\n",
 				rec.Span, rec.TimeNS, rec.Digest, rec.Sync, rec.Queued, rec.Dropped)
 		}
@@ -84,6 +87,7 @@ func FuzzReplay(f *testing.F) {
 	f.Add(Generate(7, 4, 2, 256, time.Millisecond))
 	f.Add(Generate(42, 2, 1, 32, 5*time.Millisecond))
 	f.Add(Generate(9, 8, 4, 128, 100*time.Microsecond))
+	f.Add(GenerateHosted(11, 2, 2, 64, time.Millisecond, "fuzzhost", 4))
 	f.Add(magic[:])
 	f.Add([]byte{})
 	if ents, err := os.ReadDir(corpusDir); err == nil {
@@ -159,6 +163,7 @@ func TestWriteSeedCorpus(t *testing.T) {
 		{"fleet-4vm", Generate(202, 4, 2, 400, time.Millisecond)},
 		{"fleet-8vm-wide", Generate(303, 8, 8, 600, 500*time.Microsecond)},
 		{"single-vcpu", Generate(404, 2, 1, 100, 10*time.Millisecond)},
+		{"cluster-sparse", GenerateHosted(505, 2, 2, 200, time.Millisecond, "h1", 4)},
 	}
 	for _, s := range seeds {
 		path := filepath.Join(corpusDir, s.name+".bin")

@@ -20,6 +20,17 @@ import (
 // eventsPerRound events per VM followed by per-VM ticks and one barrier, the
 // shape the live scheduler produces.
 func Generate(seed int64, vms, vcpus, events int, tick time.Duration) []byte {
+	return generate(seed, vms, vcpus, events, tick, "", 0)
+}
+
+// GenerateHosted is Generate with the cluster-era (v2) header: the stream
+// carries a host name and a sparse VMID range starting at base, the shape a
+// cluster host's recorder produces.
+func GenerateHosted(seed int64, vms, vcpus, events int, tick time.Duration, hostName string, base core.VMID) []byte {
+	return generate(seed, vms, vcpus, events, tick, hostName, base)
+}
+
+func generate(seed int64, vms, vcpus, events int, tick time.Duration, hostName string, base core.VMID) []byte {
 	if vms < 1 {
 		vms = 1
 	}
@@ -28,9 +39,9 @@ func Generate(seed int64, vms, vcpus, events int, tick time.Duration) []byte {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var buf bytes.Buffer
-	hdr := Header{Tick: tick}
+	hdr := Header{Host: hostName, Tick: tick}
 	for i := 0; i < vms; i++ {
-		hdr.VMs = append(hdr.VMs, VMHeader{Name: vmName(i), VCPUs: vcpus})
+		hdr.VMs = append(hdr.VMs, VMHeader{ID: base + core.VMID(i), Name: vmName(i), VCPUs: vcpus})
 	}
 	rec, err := NewRecorder(&buf, hdr)
 	if err != nil {
@@ -53,7 +64,7 @@ func Generate(seed int64, vms, vcpus, events int, tick time.Duration) []byte {
 			for i := 0; i < n; i++ {
 				var ev core.Event
 				ev.Type = types[rng.Intn(len(types))]
-				ev.VM = core.VMID(vm)
+				ev.VM = base + core.VMID(vm)
 				ev.VCPU = rng.Intn(vcpus)
 				seqs[vm]++
 				ev.Seq = seqs[vm]
@@ -69,7 +80,7 @@ func Generate(seed int64, vms, vcpus, events int, tick time.Duration) []byte {
 				rec.TapEvent(&ev)
 				written++
 			}
-			rec.TapTick(core.VMID(vm), now)
+			rec.TapTick(base+core.VMID(vm), now)
 		}
 		rec.TapBarrier(now)
 	}

@@ -57,32 +57,65 @@ type ViewRecord struct {
 
 // Reader decodes a capture stream record by record.
 type Reader struct {
-	r   *bufio.Reader
-	hdr Header
+	r       *bufio.Reader
+	hdr     Header
+	version int
 }
 
 // NewReader parses the capture header and positions the reader at the first
-// record.
+// record. Both header layouts decode: v1 (solo) tables get implicit dense
+// VMIDs, v2 (cluster) tables carry host name and explicit IDs on the wire.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 64<<10)
-	var fixed [4 + 1 + 1 + 8 + 2]byte
+	var fixed [4 + 1 + 1 + 8]byte
 	if _, err := io.ReadFull(br, fixed[:]); err != nil {
 		return nil, fmt.Errorf("capture: reading header: %w", err)
 	}
 	if [4]byte(fixed[:4]) != magic {
 		return nil, fmt.Errorf("capture: bad magic %q (not a HyperTap capture)", fixed[:4])
 	}
-	if v := fixed[4]; v != Version {
-		return nil, fmt.Errorf("%w: stream is v%d, this reader understands v%d only", ErrUnsupportedVersion, v, Version)
+	version := fixed[4]
+	if version != VersionSolo && version != Version {
+		return nil, fmt.Errorf("%w: stream is v%d, this reader understands v%d and v%d", ErrUnsupportedVersion, version, VersionSolo, Version)
 	}
 	hdr := Header{Tick: time.Duration(binary.LittleEndian.Uint64(fixed[6:]))}
-	nVMs := int(binary.LittleEndian.Uint16(fixed[14:]))
+	if version == Version {
+		hostLen, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("capture: reading host name: %w", err)
+		}
+		if hostLen > 0 {
+			buf := make([]byte, int(hostLen))
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("capture: reading host name: %w", err)
+			}
+			hdr.Host = string(buf)
+		}
+	}
+	var count [2]byte
+	if _, err := io.ReadFull(br, count[:]); err != nil {
+		return nil, fmt.Errorf("capture: reading VM count: %w", err)
+	}
+	nVMs := int(binary.LittleEndian.Uint16(count[:]))
 	if nVMs == 0 {
 		return nil, fmt.Errorf("capture: header lists no VMs")
 	}
 	// The VM table is read incrementally — a hostile count cannot trigger a
 	// large up-front allocation, only as many appends as bytes back it up.
+	seen := make(map[core.VMID]bool, nVMs)
 	for i := 0; i < nVMs; i++ {
+		id := core.VMID(i)
+		if version == Version {
+			var raw [2]byte
+			if _, err := io.ReadFull(br, raw[:]); err != nil {
+				return nil, fmt.Errorf("capture: reading VM table: %w", err)
+			}
+			id = core.VMID(binary.LittleEndian.Uint16(raw[:]))
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("capture: duplicate VMID %d in header", id)
+		}
+		seen[id] = true
 		nameLen, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("capture: reading VM table: %w", err)
@@ -98,13 +131,17 @@ func NewReader(r io.Reader) (*Reader, error) {
 		if vcpus == 0 {
 			return nil, fmt.Errorf("capture: VM %q has zero vCPUs", buf[:nameLen])
 		}
-		hdr.VMs = append(hdr.VMs, VMHeader{Name: string(buf[:nameLen]), VCPUs: vcpus})
+		hdr.VMs = append(hdr.VMs, VMHeader{ID: id, Name: string(buf[:nameLen]), VCPUs: vcpus})
 	}
-	return &Reader{r: br, hdr: hdr}, nil
+	return &Reader{r: br, hdr: hdr, version: int(version)}, nil
 }
 
 // Header returns the parsed capture header.
 func (rd *Reader) Header() Header { return rd.hdr }
+
+// Version returns the format version the stream was written with (VersionSolo
+// or Version), as opposed to the newest version this reader understands.
+func (rd *Reader) Version() int { return rd.version }
 
 // Next decodes the next record into rec. It returns io.EOF at a clean record
 // boundary; a stream that stops mid-record returns a wrapped

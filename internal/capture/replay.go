@@ -57,6 +57,9 @@ type Replay struct {
 	cfg    ReplayConfig
 	em     *core.Multiplexer
 	clocks []*vclock.Clock
+	// index maps a wire VMID to its dense slot in hdr.VMs / clocks. For solo
+	// (v1) captures it is the identity; cluster (v2) captures carry sparse IDs.
+	index map[core.VMID]int
 
 	// pending is the one-record lookahead shared by Run and the view pops.
 	pending    Record
@@ -95,22 +98,28 @@ func NewReplay(r io.Reader, cfg ReplayConfig) (*Replay, error) {
 	if len(hdr.VMs) > maxVMs {
 		return nil, fmt.Errorf("capture: header lists %d VMs, replay cap is %d", len(hdr.VMs), maxVMs)
 	}
-	if cfg.MaxVCPUs > 0 {
-		for _, vm := range hdr.VMs {
-			if vm.VCPUs > cfg.MaxVCPUs {
-				return nil, fmt.Errorf("capture: VM %q has %d vCPUs, replay cap is %d", vm.Name, vm.VCPUs, cfg.MaxVCPUs)
-			}
+	for _, vm := range hdr.VMs {
+		if cfg.MaxVCPUs > 0 && vm.VCPUs > cfg.MaxVCPUs {
+			return nil, fmt.Errorf("capture: VM %q has %d vCPUs, replay cap is %d", vm.Name, vm.VCPUs, cfg.MaxVCPUs)
+		}
+		// The cap bounds the ID domain too: sparse cluster IDs size the EM's
+		// slot tables, so a hostile v2 header cannot inflate the replay by
+		// naming one VM at the far end of the u16 range.
+		if int(vm.ID) >= maxVMs {
+			return nil, fmt.Errorf("capture: VM %q has VMID %d, replay cap is %d", vm.Name, vm.ID, maxVMs)
 		}
 	}
-	rp := &Replay{rd: rd, hdr: hdr, em: core.NewMultiplexer(), cfg: cfg}
+	rp := &Replay{rd: rd, hdr: hdr, em: core.NewMultiplexer(), cfg: cfg,
+		index: make(map[core.VMID]int, len(hdr.VMs))}
 	if cfg.Flight != nil {
 		rp.em.SetFlight(cfg.Flight)
 	}
-	for _, vm := range hdr.VMs {
-		if _, err := rp.em.AttachVM(vm.Name); err != nil {
+	for i, vm := range hdr.VMs {
+		if _, err := rp.em.AttachVMAt(vm.ID, vm.Name); err != nil {
 			return nil, fmt.Errorf("capture: attaching recorded VM: %w", err)
 		}
 		rp.clocks = append(rp.clocks, &vclock.Clock{})
+		rp.index[vm.ID] = i
 	}
 	return rp, nil
 }
@@ -123,7 +132,14 @@ func (rp *Replay) EM() *core.Multiplexer { return rp.em }
 func (rp *Replay) Header() Header { return rp.hdr }
 
 // Clock returns VM vm's replay clock (GOSHD's Config.Clock and timer base).
-func (rp *Replay) Clock(vm core.VMID) *vclock.Clock { return rp.clocks[vm] }
+// vm is the wire VMID from the header — sparse under the cluster plane.
+func (rp *Replay) Clock(vm core.VMID) *vclock.Clock {
+	idx, ok := rp.index[vm]
+	if !ok {
+		panic(fmt.Sprintf("capture: Clock(%d): VM not in the capture header", vm))
+	}
+	return rp.clocks[idx]
+}
 
 // Divergences counts reads and records that did not line up with the live
 // run. Zero after a clean replay of an intact capture.
@@ -169,20 +185,21 @@ func (rp *Replay) Run() error {
 			}
 			rp.em.PublishBatch(rp.batch)
 		case recTick:
-			if int(rec.VM) >= len(rp.clocks) {
+			idx, ok := rp.index[rec.VM]
+			if !ok {
 				rp.divergences++
 				if rp.cfg.Strict {
-					return fmt.Errorf("capture: tick record names VM %d, header lists %d", rec.VM, len(rp.clocks))
+					return fmt.Errorf("capture: tick record names VM %d, not in the header table", rec.VM)
 				}
 				continue
 			}
 			target := rec.Now
 			if rp.cfg.MaxTick > 0 {
-				if now := rp.clocks[rec.VM].Now(); target > now+rp.cfg.MaxTick {
+				if now := rp.clocks[idx].Now(); target > now+rp.cfg.MaxTick {
 					target = now + rp.cfg.MaxTick
 				}
 			}
-			rp.clocks[rec.VM].AdvanceTo(target)
+			rp.clocks[idx].AdvanceTo(target)
 		case recBarrier:
 			rp.em.Dispatch(0)
 		case recView, recCounter:
@@ -253,9 +270,13 @@ func KindName(kind byte) string {
 
 // View returns VM vm's replay-side GuestView: reads are answered from the
 // recorded stream in issue order. Hand it to the same auditors the live run
-// wrapped with Recorder.View.
+// wrapped with Recorder.View. vm is the wire VMID from the header.
 func (rp *Replay) View(vm core.VMID) *ReplayView {
-	return &ReplayView{rp: rp, vm: vm}
+	idx, ok := rp.index[vm]
+	if !ok {
+		panic(fmt.Sprintf("capture: View(%d): VM not in the capture header", vm))
+	}
+	return &ReplayView{rp: rp, vm: vm, idx: idx}
 }
 
 // Counter returns VM vm's replay-side process counter.
@@ -267,14 +288,15 @@ func (rp *Replay) Counter(vm core.VMID) *ReplayCounter {
 // records in order; a read with no matching record is a divergence and
 // returns a zero value with errDivergence.
 type ReplayView struct {
-	rp *Replay
-	vm core.VMID
+	rp  *Replay
+	vm  core.VMID
+	idx int
 }
 
 var _ core.GuestView = (*ReplayView)(nil)
 
 // NumVCPUs implements core.GuestView from the capture header.
-func (v *ReplayView) NumVCPUs() int { return v.rp.hdr.VMs[v.vm].VCPUs }
+func (v *ReplayView) NumVCPUs() int { return v.rp.hdr.VMs[v.idx].VCPUs }
 
 // Regs implements core.GuestView.
 func (v *ReplayView) Regs(vcpu int) arch.RegisterFile {

@@ -1,0 +1,320 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+	"hypertap/internal/host"
+	"hypertap/internal/telemetry"
+)
+
+// smallSpec is a minimal monitored VM.
+func smallSpec(name string, seed int64) host.VMSpec {
+	return host.VMSpec{Name: name, Guest: guest.Config{Seed: seed}, Monitor: true, Features: allFeatures()}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := New(Config{Hosts: []HostSpec{{Name: "h0"}}}); err == nil {
+		t.Fatal("host without VMs accepted")
+	}
+	if _, err := New(Config{Hosts: []HostSpec{
+		{Name: "h0", VMs: []host.VMSpec{smallSpec("a", 1)}},
+		{Name: "h0", VMs: []host.VMSpec{smallSpec("b", 2)}},
+	}}); err == nil {
+		t.Fatal("duplicate host name accepted")
+	}
+	if _, err := New(Config{Hosts: []HostSpec{
+		{Name: "h0", VMs: []host.VMSpec{smallSpec("a", 1)}},
+		{Name: "h1", VMs: []host.VMSpec{smallSpec("a", 2)}},
+	}}); err == nil {
+		t.Fatal("duplicate VM name across hosts accepted")
+	}
+
+	c, err := New(Config{Hosts: []HostSpec{
+		{Name: "h0", VMs: []host.VMSpec{smallSpec("a", 1)}},
+		{Name: "h1", VMs: []host.VMSpec{smallSpec("b", 2)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default names and VMID carving.
+	if c.Stride() != 1 {
+		t.Fatalf("stride = %d, want 1", c.Stride())
+	}
+	if got := c.Host(1).Machine(0).VMID(); got != 1 {
+		t.Fatalf("h1's VM attached as %d, want 1", got)
+	}
+	if err := c.Migrate("ghost", "h1"); err == nil {
+		t.Fatal("migrating an unknown VM accepted")
+	}
+	if err := c.Migrate("a", "nowhere"); err == nil {
+		t.Fatal("migrating to an unknown host accepted")
+	}
+	if err := c.Migrate("a", "h0"); err == nil {
+		t.Fatal("migrating a VM onto its own host accepted")
+	}
+	if err := c.FailHost("nowhere"); err == nil {
+		t.Fatal("failing an unknown host accepted")
+	}
+	if err := c.FailHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailHost("h1"); err == nil {
+		t.Fatal("double FailHost accepted")
+	}
+	if err := c.Migrate("a", "h1"); err == nil {
+		t.Fatal("migrating onto a failed host accepted")
+	}
+}
+
+// TestClusterMigrationDefersToRoundBoundary pins the migration window: a
+// move scheduled mid-tick fires at the next round boundary, never inside a
+// round, so the schedule stays deterministic.
+func TestClusterMigrationDefersToRoundBoundary(t *testing.T) {
+	c, err := New(Config{Hosts: []HostSpec{
+		{Name: "h0", VMs: []host.VMSpec{smallSpec("a", 1), smallSpec("mv", 2)}},
+		{Name: "h1", VMs: []host.VMSpec{smallSpec("b", 3)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	clusterWorkload(t, c.Host(0).Machine(0), 0)
+	clusterWorkload(t, c.Host(0).Machine(1), 0)
+	clusterWorkload(t, c.Host(1).Machine(0), 1)
+	c.ScheduleMigration(150*time.Millisecond+500*time.Microsecond, "mv", "h1")
+	c.Run(300 * time.Millisecond)
+	recs := c.Migrations()
+	if len(recs) != 1 {
+		t.Fatalf("migrations = %+v, want 1", recs)
+	}
+	if recs[0].At != 151*time.Millisecond {
+		t.Fatalf("mid-tick migration fired at %v, want the 151ms boundary", recs[0].At)
+	}
+	if len(c.Failures()) != 0 {
+		t.Fatalf("failures = %v", c.Failures())
+	}
+}
+
+// asyncCollector records events delivered through an async queue — the
+// subscription whose undrained ring the migration must carry.
+type asyncCollector struct {
+	collector
+}
+
+// TestClusterMigrationCarriesQueuedAsyncEvents is the queued-async edge: a
+// VM migrates while events sit undelivered in its async subscription ring,
+// and the target's next drain delivers exactly those events.
+func TestClusterMigrationCarriesQueuedAsyncEvents(t *testing.T) {
+	c, err := New(Config{Hosts: []HostSpec{
+		{Name: "h0", VMs: []host.VMSpec{smallSpec("mv", 1)}},
+		{Name: "h1", VMs: []host.VMSpec{smallSpec("b", 2)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &asyncCollector{collector{vm: 0}}
+	if err := c.Host(0).EM().RegisterAuditor(col, core.DeliverAsync, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	clusterWorkload(t, c.Host(0).Machine(0), 0)
+	clusterWorkload(t, c.Host(1).Machine(0), 1)
+	c.Run(10 * time.Millisecond)
+
+	// Between rounds, publish three events the round's drain has not seen:
+	// they sit queued in the mover's async ring.
+	before := len(col.events())
+	for i := 0; i < 3; i++ {
+		c.Host(0).EM().Publish(&core.Event{Type: core.EvSyscall, VM: 0, Seq: 1000 + uint64(i)})
+	}
+	if got := len(col.events()); got != before {
+		t.Fatalf("events delivered before any drain: %d, want %d", got, before)
+	}
+	if err := c.Migrate("mv", "h1"); err != nil {
+		t.Fatal(err)
+	}
+	c.StepRound()
+	evs := col.events()
+	if len(evs) < before+3 {
+		t.Fatalf("target drain delivered %d events, want at least %d", len(evs), before+3)
+	}
+	// The three queued events arrive first, in order, before the round's own.
+	for i := 0; i < 3; i++ {
+		if evs[before+i].Seq != 1000+uint64(i) {
+			t.Fatalf("queued event %d delivered with seq %d, want %d", i, evs[before+i].Seq, 1000+i)
+		}
+	}
+}
+
+// TestClusterFailoverEvacuatesSickHost drives the central aggregator end to
+// end: a failed host falls silent, the sick verdict fires once, its VMs
+// spread over the healthy hosts under LeastLoaded, and they keep producing
+// on their new homes. This is also the "RHC already alarmed" edge — the
+// verdict latches, so continued silence cannot re-alarm or re-evacuate.
+func TestClusterFailoverEvacuatesSickHost(t *testing.T) {
+	c, err := New(Config{
+		SickAfter: 20 * time.Millisecond,
+		Hosts: []HostSpec{
+			{Name: "h0", VMs: []host.VMSpec{smallSpec("v0", 1), smallSpec("v1", 2)}},
+			{Name: "h1", VMs: []host.VMSpec{smallSpec("v2", 3)}},
+			{Name: "h2", VMs: []host.VMSpec{smallSpec("v3", 4)}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]*collector, 2)
+	for j := range cols {
+		cols[j] = &collector{vm: core.VMID(j)}
+		if err := c.Host(0).EM().RegisterAuditor(cols[j], core.DeliverSync, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	clusterWorkload(t, c.Host(0).Machine(0), 0)
+	clusterWorkload(t, c.Host(0).Machine(1), 1)
+	clusterWorkload(t, c.Host(1).Machine(0), 0)
+	clusterWorkload(t, c.Host(2).Machine(0), 1)
+
+	c.Run(50 * time.Millisecond)
+	for _, hh := range c.Health() {
+		if hh.Sick {
+			t.Fatalf("healthy cluster reports %s sick", hh.Host)
+		}
+	}
+	if err := c.FailHost("h0"); err != nil {
+		t.Fatal(err)
+	}
+	evBefore := [2]int{len(cols[0].events()), len(cols[1].events())}
+	c.Run(100 * time.Millisecond)
+
+	vs := c.Verdicts()
+	if len(vs) != 1 {
+		t.Fatalf("verdicts = %+v, want exactly 1", vs)
+	}
+	v := vs[0]
+	if v.Host != "h0" || v.Silence <= 20*time.Millisecond {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if len(v.Evacuated) != 2 || len(v.Stranded) != 0 {
+		t.Fatalf("verdict moved %d VMs, stranded %d: %+v", len(v.Evacuated), len(v.Stranded), v)
+	}
+	// LeastLoaded spreads the evacuees: first to h1 (tie, lowest index),
+	// second to h2 (h1 now fuller).
+	if v.Evacuated[0].To != "h1" || v.Evacuated[1].To != "h2" {
+		t.Fatalf("evacuation targets = %s, %s; want h1, h2", v.Evacuated[0].To, v.Evacuated[1].To)
+	}
+	if c.Host(0).NumVMs() != 0 {
+		t.Fatalf("sick host still holds %d VMs", c.Host(0).NumVMs())
+	}
+	// The evacuees keep producing on their new homes: their traveling sync
+	// collectors see fresh events.
+	for j := range cols {
+		if got := len(cols[j].events()); got <= evBefore[j] {
+			t.Fatalf("evacuated vm%d produced nothing after failover (%d before, %d after)", j, evBefore[j], got)
+		}
+	}
+	// Latch: more silence, no second verdict, and the sick host takes no VMs.
+	c.Run(100 * time.Millisecond)
+	if len(c.Verdicts()) != 1 {
+		t.Fatalf("verdict re-fired: %+v", c.Verdicts())
+	}
+	if err := c.Migrate("v2", "h0"); err == nil {
+		t.Fatal("migration onto the sick host accepted")
+	}
+	for _, hh := range c.Health() {
+		if hh.Host == "h0" && !hh.Sick {
+			t.Fatal("health does not report h0 sick")
+		}
+	}
+}
+
+// TestClusterRollup pins the fleet telemetry rollup: per-host series land in
+// the cluster registry under {host=...} labels with exact values, repeated
+// rollups absorb only deltas, and identically-named series from different
+// hosts never collide.
+func TestClusterRollup(t *testing.T) {
+	fleet := telemetry.NewRegistry()
+	c, err := New(Config{
+		Telemetry: fleet,
+		Hosts: []HostSpec{
+			{Name: "h0", VMs: []host.VMSpec{smallSpec("a", 1)}},
+			{Name: "h1", VMs: []host.VMSpec{smallSpec("b", 2)}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	clusterWorkload(t, c.Host(0).Machine(0), 0)
+	clusterWorkload(t, c.Host(1).Machine(0), 1)
+	c.Run(50 * time.Millisecond) // Run rolls up on return
+
+	for i, name := range []string{"h0", "h1"} {
+		want := c.Host(i).EM().Published()
+		if want == 0 {
+			t.Fatalf("%s published nothing; the rollup check is vacuous", name)
+		}
+		got := fleet.Counter("hypertap_events_published_total", telemetry.L("host", name)).Value()
+		if got != want {
+			t.Fatalf("%s rolled-up published = %d, want %d", name, got, want)
+		}
+		// The per-VM labeled series carries both labels.
+		vm := c.Host(i).Machine(0).Name()
+		if got := fleet.Counter("hypertap_events_published_total", telemetry.L("host", name), telemetry.L("vm", vm)).Value(); got != want {
+			t.Fatalf("%s/%s rolled-up per-VM published = %d, want %d", name, vm, got, want)
+		}
+	}
+	// Idle re-rollup absorbs a zero delta: totals must not double.
+	h0 := c.Host(0).EM().Published()
+	c.Rollup()
+	if got := fleet.Counter("hypertap_events_published_total", telemetry.L("host", "h0")).Value(); got != h0 {
+		t.Fatalf("idle rollup double-counted: %d, want %d", got, h0)
+	}
+	// No unlabeled series leaked into the fleet registry.
+	for _, cs := range fleet.Snapshot().Counters {
+		if !strings.HasPrefix(cs.Name, "hypertap_cluster_") {
+			hosted := false
+			for _, l := range cs.Labels {
+				hosted = hosted || l.Key == "host"
+			}
+			if !hosted {
+				t.Fatalf("fleet registry holds host-less series %s%v", cs.Name, cs.Labels)
+			}
+		}
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	loads := []HostLoad{
+		{Index: 0, Name: "h0", VMs: 3},
+		{Index: 1, Name: "h1", VMs: 1, Sick: true},
+		{Index: 2, Name: "h2", VMs: 2},
+		{Index: 3, Name: "h3", VMs: 2},
+	}
+	if got := (LeastLoaded{}).Place(loads, 0); got != 2 {
+		t.Fatalf("Place = %d, want 2 (least loaded healthy, lowest index on tie)", got)
+	}
+	if got := (LeastLoaded{}).Place(loads, 2); got != 3 {
+		t.Fatalf("Place excluding source = %d, want 3", got)
+	}
+	all := []HostLoad{{Index: 0, Sick: true}, {Index: 1}}
+	if got := (LeastLoaded{}).Place(all, 1); got != -1 {
+		t.Fatalf("Place with no candidates = %d, want -1", got)
+	}
+}

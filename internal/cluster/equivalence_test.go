@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"hypertap/internal/auditors/goshd"
+	"hypertap/internal/core"
+	"hypertap/internal/core/intercept"
+	"hypertap/internal/guest"
+	"hypertap/internal/host"
+	"hypertap/internal/hv"
+)
+
+func allFeatures() intercept.Features {
+	return intercept.Features{
+		ProcessSwitch: true,
+		ThreadSwitch:  true,
+		TSSIntegrity:  true,
+		Syscalls:      true,
+		IO:            true,
+	}
+}
+
+// clusterWorkload gives global VM index g a deterministic, slot-distinct
+// loop; slot 2 is the napper whose long sleeps trip the tight GOSHD
+// threshold, so the gates cover alarm state too.
+func clusterWorkload(t *testing.T, m *hv.Machine, g int) {
+	t.Helper()
+	specs := [][]guest.Step{
+		{guest.DoSyscall(guest.SysGetPID), guest.Compute(time.Millisecond)},
+		{guest.DoSyscall(guest.SysWrite, 1, 64), guest.Compute(2 * time.Millisecond)},
+		{guest.Compute(time.Millisecond), guest.Sleep(100 * time.Millisecond)},
+	}
+	if _, err := m.Kernel().CreateProcess(&guest.ProcSpec{
+		Comm: fmt.Sprintf("w%d", g), UID: 1000,
+		Program: &guest.LoopProgram{Body: specs[g%len(specs)]},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// collector records one VM's full event stream.
+type collector struct {
+	vm  core.VMID
+	mu  sync.Mutex
+	evs []core.Event
+}
+
+func (c *collector) Name() string          { return fmt.Sprintf("collect%d", c.vm) }
+func (c *collector) Mask() core.EventMask  { return core.MaskAll }
+func (c *collector) VMScope() core.VMScope { return core.ScopeVM(c.vm) }
+func (c *collector) HandleEvent(e *core.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, *e)
+	c.mu.Unlock()
+}
+
+func (c *collector) events() []core.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.Event, len(c.evs))
+	copy(out, c.evs)
+	return out
+}
+
+// attachAuditors wires a sync collector and an async GOSHD onto m — the same
+// registration order everywhere, so per-host actor tables line up.
+func attachAuditors(t *testing.T, m *hv.Machine, vm core.VMID) (*collector, *goshd.Detector) {
+	t.Helper()
+	col := &collector{vm: vm}
+	if err := m.EM().RegisterAuditor(col, core.DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	det, err := goshd.New(goshd.Config{
+		VM:        vm,
+		Clock:     m.Clock(),
+		VCPUs:     m.NumVCPUs(),
+		Threshold: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EM().RegisterAuditor(det, core.DeliverAsync, 0); err != nil {
+		t.Fatal(err)
+	}
+	return col, det
+}
+
+// vmOutcome is everything the gates compare per VM.
+type vmOutcome struct {
+	events   []core.Event
+	alarms   []goshd.HangAlarm
+	syscalls uint64
+	switches uint64
+	exits    uint64
+}
+
+func outcome(m *hv.Machine, col *collector, det *goshd.Detector) vmOutcome {
+	st := m.Kernel().Stats()
+	return vmOutcome{
+		events:   col.events(),
+		alarms:   det.Alarms(),
+		syscalls: st.Syscalls,
+		switches: st.ContextSwitches,
+		exits:    m.TotalExits(),
+	}
+}
+
+const (
+	gateHosts  = 3
+	gateVMsPer = 2
+	gateSeed   = 101
+	gateRun    = 300 * time.Millisecond
+)
+
+func gateSpecs(hostIdx int) []host.VMSpec {
+	specs := make([]host.VMSpec, gateVMsPer)
+	for j := range specs {
+		g := hostIdx*gateVMsPer + j
+		specs[j] = host.VMSpec{
+			Name:    fmt.Sprintf("h%d-vm%d", hostIdx, j),
+			Guest:   guest.Config{Seed: int64(gateSeed + g)},
+			Monitor: true, Features: allFeatures(),
+		}
+	}
+	return specs
+}
+
+// TestClusterEquivalenceSoloHosts is gate 1: an M-host cluster run is
+// byte-identical, per VM, to M solo host runs with the same seeds and VMID
+// ranges — the shared cluster clock adds scheduling structure but zero
+// cross-host coupling. Everything compares raw: event streams, GOSHD alarms,
+// kernel stats, publish counters and flight rings.
+func TestClusterEquivalenceSoloHosts(t *testing.T) {
+	specs := make([]HostSpec, gateHosts)
+	for i := range specs {
+		specs[i] = HostSpec{Name: fmt.Sprintf("h%d", i), VMs: gateSpecs(i)}
+	}
+	cl, err := New(Config{Hosts: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clCols := make([]*collector, gateHosts*gateVMsPer)
+	clDets := make([]*goshd.Detector, gateHosts*gateVMsPer)
+	for i := 0; i < gateHosts; i++ {
+		for j := 0; j < gateVMsPer; j++ {
+			g := i*gateVMsPer + j
+			clCols[g], clDets[g] = attachAuditors(t, cl.Host(i).Machine(j), core.VMID(g))
+		}
+	}
+	if err := cl.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < gateHosts; i++ {
+		for j := 0; j < gateVMsPer; j++ {
+			g := i*gateVMsPer + j
+			clDets[g].Start()
+			clusterWorkload(t, cl.Host(i).Machine(j), g)
+		}
+	}
+	cl.Run(gateRun)
+
+	sawAlarms := false
+	for i := 0; i < gateHosts; i++ {
+		solo, err := host.New(host.Config{
+			Name:     fmt.Sprintf("h%d", i),
+			VMs:      gateSpecs(i),
+			VMIDBase: core.VMID(i * gateVMsPer),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloCols := make([]*collector, gateVMsPer)
+		soloDets := make([]*goshd.Detector, gateVMsPer)
+		for j := 0; j < gateVMsPer; j++ {
+			g := i*gateVMsPer + j
+			soloCols[j], soloDets[j] = attachAuditors(t, solo.Machine(j), core.VMID(g))
+		}
+		if err := solo.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < gateVMsPer; j++ {
+			soloDets[j].Start()
+			clusterWorkload(t, solo.Machine(j), i*gateVMsPer+j)
+		}
+		solo.Run(gateRun)
+
+		for j := 0; j < gateVMsPer; j++ {
+			g := i*gateVMsPer + j
+			vmid := core.VMID(g)
+			want := outcome(solo.Machine(j), soloCols[j], soloDets[j])
+			got := outcome(cl.Host(i).Machine(j), clCols[g], clDets[g])
+			if len(want.events) == 0 {
+				t.Fatalf("vm %d produced no events; the gate is vacuous", g)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("vm %d diverged from its solo run:\ncluster: %d events, %d alarms, %d/%d/%d\nsolo:    %d events, %d alarms, %d/%d/%d",
+					g, len(got.events), len(got.alarms), got.syscalls, got.switches, got.exits,
+					len(want.events), len(want.alarms), want.syscalls, want.switches, want.exits)
+			}
+			sawAlarms = sawAlarms || len(want.alarms) > 0
+			if cp, sp := cl.Host(i).EM().PublishedVM(vmid), solo.EM().PublishedVM(vmid); cp != sp {
+				t.Fatalf("vm %d published %d in cluster, %d solo", g, cp, sp)
+			}
+			// Same host composition ⇒ same actor table ⇒ flight rings compare
+			// raw, masks and all.
+			if cf, sf := cl.Host(i).EM().FlightExits(vmid), solo.EM().FlightExits(vmid); !reflect.DeepEqual(cf, sf) {
+				t.Fatalf("vm %d flight ring diverged (%d vs %d records)", g, len(cf), len(sf))
+			}
+		}
+	}
+	if !sawAlarms {
+		t.Fatal("no GOSHD alarms anywhere; the gate's alarm leg is vacuous")
+	}
+}
+
+// maskNames decodes an actor bitmask into sorted auditor names via the EM's
+// actor table. Actor IDs are per-EM registration order, so a migrated VM's
+// auditors hold different bits on source and target; the names are the
+// stable identity the migration gate compares.
+func maskNames(names []string, mask uint64) []string {
+	var out []string
+	for i := 0; i < 64; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		if i < len(names) {
+			out = append(out, names[i])
+		} else {
+			out = append(out, fmt.Sprintf("actor%d", i))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// migGateCluster builds the migration gate's fixed 2-host cluster: h0 runs a
+// steady VM and the napper "mover", h1 runs one steady VM. FlightDepth is
+// sized so no ring wraps during the run, making full-history comparison
+// exact.
+func migGateCluster(t *testing.T) (*Cluster, []*collector, []*goshd.Detector) {
+	t.Helper()
+	c, err := New(Config{
+		FlightDepth: 1 << 13,
+		Hosts: []HostSpec{
+			{Name: "h0", VMs: []host.VMSpec{
+				{Name: "steady0", Guest: guest.Config{Seed: 201}, Monitor: true, Features: allFeatures()},
+				{Name: "mover", Guest: guest.Config{Seed: 202}, Monitor: true, Features: allFeatures()},
+			}},
+			{Name: "h1", VMs: []host.VMSpec{
+				{Name: "steady1", Guest: guest.Config{Seed: 203}, Monitor: true, Features: allFeatures()},
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]*collector, 3)
+	dets := make([]*goshd.Detector, 3)
+	cols[0], dets[0] = attachAuditors(t, c.Host(0).Machine(0), 0)
+	cols[1], dets[1] = attachAuditors(t, c.Host(0).Machine(1), 1)
+	cols[2], dets[2] = attachAuditors(t, c.Host(1).Machine(0), 2)
+	if err := c.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	machines := []*hv.Machine{c.Host(0).Machine(0), c.Host(0).Machine(1), c.Host(1).Machine(0)}
+	slots := []int{0, 2, 1} // the mover is the napper
+	for g, m := range machines {
+		dets[g].Start()
+		clusterWorkload(t, m, slots[g])
+	}
+	return c, cols, dets
+}
+
+// TestClusterMigrationEquivalence is gate 2: migrating a VM mid-campaign
+// preserves every auditor verdict, event stream, kernel stat, publish
+// counter and flight record, byte-for-byte against the same cluster run
+// without the migration. Actor bitmasks are compared by auditor name — the
+// one representation that survives crossing EMs.
+func TestClusterMigrationEquivalence(t *testing.T) {
+	base, baseCols, baseDets := migGateCluster(t)
+	mig, migCols, migDets := migGateCluster(t)
+	mig.ScheduleMigration(gateRun/2, "mover", "h1")
+
+	base.Run(gateRun)
+	mig.Run(gateRun)
+
+	if len(mig.Migrations()) != 1 {
+		t.Fatalf("migrations = %+v, want exactly 1", mig.Migrations())
+	}
+	rec := mig.Migrations()[0]
+	if rec.VM != "mover" || rec.From != "h0" || rec.To != "h1" || rec.At != gateRun/2 {
+		t.Fatalf("migration record = %+v", rec)
+	}
+	if mig.Host(0).NumVMs() != 1 || mig.Host(1).NumVMs() != 2 {
+		t.Fatalf("post-migration residency = %d/%d, want 1/2", mig.Host(0).NumVMs(), mig.Host(1).NumVMs())
+	}
+
+	// Every VM's auditor-visible history is identical with and without the
+	// migration.
+	names := []string{"steady0", "mover", "steady1"}
+	for g := range names {
+		want := vmOutcome{events: baseCols[g].events(), alarms: baseDets[g].Alarms()}
+		got := vmOutcome{events: migCols[g].events(), alarms: migDets[g].Alarms()}
+		bm, _ := base.FindVM(names[g])
+		mm, _ := mig.FindVM(names[g])
+		if bm == nil || mm == nil {
+			t.Fatalf("vm %q not resident in both runs", names[g])
+		}
+		want.syscalls, want.switches, want.exits = bm.Kernel().Stats().Syscalls, bm.Kernel().Stats().ContextSwitches, bm.TotalExits()
+		got.syscalls, got.switches, got.exits = mm.Kernel().Stats().Syscalls, mm.Kernel().Stats().ContextSwitches, mm.TotalExits()
+		if len(want.events) == 0 {
+			t.Fatalf("vm %q produced no events; the gate is vacuous", names[g])
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("vm %q diverged under migration:\nmigrated: %d events, %d alarms, %d/%d/%d\nbaseline: %d events, %d alarms, %d/%d/%d",
+				names[g], len(got.events), len(got.alarms), got.syscalls, got.switches, got.exits,
+				len(want.events), len(want.alarms), want.syscalls, want.switches, want.exits)
+		}
+	}
+	if len(baseDets[1].Alarms()) == 0 {
+		t.Fatal("the napper raised no alarms; the verdict leg is vacuous")
+	}
+
+	// Publish accounting: the mover's counter on the target continues the
+	// source's count exactly.
+	const moverID = core.VMID(1)
+	if bp, mp := base.Host(0).EM().PublishedVM(moverID), mig.Host(1).EM().PublishedVM(moverID); bp != mp {
+		t.Fatalf("mover published %d baseline, %d migrated", bp, mp)
+	}
+
+	// Flight continuity: the detach-time prefix plus the target ring is the
+	// baseline ring, record for record. The rings never wrapped (depth 2^13),
+	// so this is the full history, not a suffix.
+	baseExits := base.Host(0).EM().FlightExits(moverID)
+	tailExits := mig.Host(1).EM().FlightExits(moverID)
+	migExits := append(append([]core.FlightExit(nil), rec.FlightPrefix...), tailExits...)
+	if len(migExits) != len(baseExits) {
+		t.Fatalf("flight history: %d migrated records (%d prefix + %d target), %d baseline",
+			len(migExits), len(rec.FlightPrefix), len(tailExits), len(baseExits))
+	}
+	if rec.FlightWritten+mig.Host(1).EM().FlightRecorded(moverID) != base.Host(0).EM().FlightRecorded(moverID) {
+		t.Fatalf("flight write totals: %d + %d migrated, %d baseline",
+			rec.FlightWritten, mig.Host(1).EM().FlightRecorded(moverID), base.Host(0).EM().FlightRecorded(moverID))
+	}
+	baseActors := base.Host(0).EM().ActorNames()
+	srcActors := mig.Host(0).EM().ActorNames()
+	dstActors := mig.Host(1).EM().ActorNames()
+	for k := range migExits {
+		got, want := migExits[k], baseExits[k]
+		actors := srcActors
+		if k >= len(rec.FlightPrefix) {
+			actors = dstActors
+		}
+		gotN := [3][]string{maskNames(actors, got.Sync), maskNames(actors, got.Queued), maskNames(actors, got.Dropped)}
+		wantN := [3][]string{maskNames(baseActors, want.Sync), maskNames(baseActors, want.Queued), maskNames(baseActors, want.Dropped)}
+		if !reflect.DeepEqual(gotN, wantN) {
+			t.Fatalf("flight record %d actor sets diverged: %v vs %v", k, gotN, wantN)
+		}
+		got.Sync, got.Queued, got.Dropped = 0, 0, 0
+		want.Sync, want.Queued, want.Dropped = 0, 0, 0
+		if got != want {
+			t.Fatalf("flight record %d diverged:\nmigrated: %+v\nbaseline: %+v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package cluster
+
+// HostLoad is one host's placement-relevant state.
+type HostLoad struct {
+	// Index is the host's position in cluster step order.
+	Index int
+	// Name names the host.
+	Name string
+	// VMs is the resident fleet size.
+	VMs int
+	// Sick marks hosts that must not receive VMs (failed or under a sick
+	// verdict).
+	Sick bool
+}
+
+// Placement decides where a VM leaving host from lands. Implementations see
+// the whole cluster's load and return the destination host index, or -1 when
+// no host can take the VM. Place must be deterministic — it runs inside the
+// cluster's stepped schedule, and the equivalence gates pin its decisions.
+type Placement interface {
+	Place(loads []HostLoad, from int) int
+}
+
+// LeastLoaded places each VM on the healthy host with the fewest resident
+// VMs, lowest index winning ties — the deterministic default.
+type LeastLoaded struct{}
+
+// Place implements Placement.
+func (LeastLoaded) Place(loads []HostLoad, from int) int {
+	best, bestVMs := -1, 0
+	for _, l := range loads {
+		if l.Sick || l.Index == from {
+			continue
+		}
+		if best < 0 || l.VMs < bestVMs {
+			best, bestVMs = l.Index, l.VMs
+		}
+	}
+	return best
+}

@@ -197,8 +197,10 @@ func (m *Multiplexer) EnableTelemetry(reg *telemetry.Registry) {
 		highWater: reg.Gauge("hypertap_async_queue_highwater"),
 	}
 	reg.CounterFunc("hypertap_events_published_total", m.Published)
-	for id := range m.vms {
-		m.registerVMSeriesLocked(VMID(id))
+	for id, name := range m.vms {
+		if name != "" {
+			m.registerVMSeriesLocked(VMID(id))
+		}
 	}
 	for _, s := range m.subs {
 		s.hist = m.tel.reg.Histogram("hypertap_auditor_handle_seconds",
@@ -220,11 +222,20 @@ func (m *Multiplexer) rebuildRoutesLocked() {
 // registerVMSeriesLocked registers the {vm=name} published-events series for
 // one attached VM. The fn is snapshot-time only: it takes the EM lock, which
 // is the documented CounterFunc pattern (scrapes pay the lock, Publish pays
-// a plain array increment it already owns the lock for).
+// a plain array increment it already owns the lock for). The closure pins the
+// VM name it was registered under: after the VM migrates away (DetachVM) its
+// slot may later host a different VM, and the stale series must report zero
+// rather than the successor's count.
 func (m *Multiplexer) registerVMSeriesLocked(id VMID) {
+	name := m.vms[id]
 	m.tel.reg.CounterFunc("hypertap_events_published_total", func() uint64 {
-		return m.PublishedVM(id)
-	}, telemetry.L("vm", m.vms[id]))
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if int(id) >= len(m.vms) || m.vms[id] != name {
+			return 0
+		}
+		return m.pubByVM[id]
+	}, telemetry.L("vm", name))
 }
 
 // NewMultiplexer creates an empty EM.
@@ -279,6 +290,9 @@ func (m *Multiplexer) RegisterScoped(a Auditor, scope VMScope, mode DeliveryMode
 		}
 		if int(scope.vm) >= attached {
 			return fmt.Errorf("core: scope %v names an unattached VM (%d attached)", scope, len(m.vms))
+		}
+		if int(scope.vm) < len(m.vms) && m.vms[scope.vm] == "" {
+			return fmt.Errorf("core: scope %v names a tombstoned VM slot", scope)
 		}
 	}
 	for _, s := range m.subs {
@@ -416,6 +430,29 @@ func (m *Multiplexer) FlightOverflow() []FlightExit {
 		return nil
 	}
 	return m.fl.exitsOf(len(m.fl.rings)-1, m.syncBitsLocked)
+}
+
+// FlightMapVM gives a migrated-in VMID its own flight ring (see
+// FlightTable.MapVM), serialized against the recorder's single writer by the
+// EM lock. No-op when tracing is off.
+func (m *Multiplexer) FlightMapVM(vm VMID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fl != nil {
+		m.fl.MapVM(vm)
+	}
+}
+
+// FlightVMs lists the VMIDs holding dedicated flight rings, resident range
+// first then migrated-in mappings — the iteration incident bundles use so
+// ring files keep VMID identity under the cluster's sparse ID namespace.
+func (m *Multiplexer) FlightVMs() []VMID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fl == nil {
+		return nil
+	}
+	return m.fl.MappedVMs()
 }
 
 // syncBitsLocked resolves the synchronous-delivery actor mask for a recorded

@@ -1,0 +1,183 @@
+package core
+
+// Live-migration support at the Event Multiplexer layer. The cluster plane
+// moves a VM between hosts by serializing everything the source EM holds for
+// it — identity, per-VM publish accounting, its scoped subscriptions with
+// their queued-undelivered async events and delivery counters — and
+// re-registering all of it on the target EM under the same VMID. Both halves
+// run under one lock acquisition each and end in a single copy-on-write
+// routing rebuild, so concurrent publishers on either host observe exactly
+// one transition: the complete old table or the complete new one, never a
+// half-moved VM (the snapshot contract of route.go, preserved).
+
+import (
+	"fmt"
+
+	"hypertap/internal/telemetry"
+)
+
+// SubTransfer is one VM-scoped subscription in flight between hosts: the
+// auditor itself (Go object identity travels — the simulator's stand-in for
+// re-instantiating the auditing container), its delivery mode, and the queue
+// state a target EM needs to resume delivery exactly where the source
+// stopped.
+type SubTransfer struct {
+	// Auditor is the subscribed auditor, re-registered as-is on the target.
+	Auditor Auditor
+	// Mode is the subscription's delivery mode.
+	Mode DeliveryMode
+	// QueueCap is the async ring capacity (0 for sync subscriptions).
+	QueueCap int
+	// Queued holds the queued-undelivered async events in queue order; the
+	// target replays them into its ring so a Dispatch after migration drains
+	// the same events a Dispatch before migration would have.
+	Queued []Event
+	// Delivered, QueuedTotal and Dropped carry the subscription's lifetime
+	// accounting so Stats on the target continues the source's totals.
+	Delivered   uint64
+	QueuedTotal uint64
+	Dropped     uint64
+}
+
+// VMTransfer is the EM half of a live migration: everything DetachVM
+// extracted, everything AdoptVM needs.
+type VMTransfer struct {
+	// ID is the VM's cluster-global VMID, identical on both hosts.
+	ID VMID
+	// Name is the VM's attached name.
+	Name string
+	// Published is the VM's publish count at detach time; the target adopts
+	// it so PublishedVM reads continuously across the migration.
+	Published uint64
+	// Subs holds the VM's scoped subscriptions in registration order.
+	Subs []SubTransfer
+}
+
+// DetachVM extracts one VM from the EM for migration: its scoped
+// subscriptions (with queued events and counters), its publish count, and
+// its name. The VMID slot becomes a tombstone — the ID belongs to the VM,
+// not the host, and must not be reassigned while the VM lives elsewhere.
+// Fleet-wide subscriptions stay: they belong to the host, not the VM. The
+// caller snapshots the VM's flight ring *before* detaching if it wants the
+// records' sync masks — after the rebuild the routing table no longer knows
+// the VM's synchronous audience.
+func (m *Multiplexer) DetachVM(id VMID) (*VMTransfer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.vms) || m.vms[id] == "" {
+		return nil, fmt.Errorf("core: DetachVM: VM %d is not attached", id)
+	}
+	t := &VMTransfer{ID: id, Name: m.vms[id], Published: m.pubByVM[id]}
+	kept := m.subs[:0]
+	depthMoved := false
+	for _, s := range m.subs {
+		if s.scope.fleet || s.scope.vm != id {
+			kept = append(kept, s)
+			continue
+		}
+		st := SubTransfer{
+			Auditor:     s.auditor,
+			Mode:        s.mode,
+			Delivered:   s.delivered,
+			QueuedTotal: s.queued,
+			Dropped:     s.dropped,
+		}
+		if s.mode == DeliverAsync {
+			st.QueueCap = len(s.ring)
+			st.Queued = make([]Event, s.count)
+			for j := 0; j < s.count; j++ {
+				st.Queued[j] = s.ring[(s.head+j)%len(s.ring)]
+			}
+			m.asyncDepth -= s.count
+			depthMoved = depthMoved || s.count > 0
+		}
+		t.Subs = append(t.Subs, st)
+	}
+	for i := len(kept); i < len(m.subs); i++ {
+		m.subs[i] = nil // release the moved subscriptions' slots
+	}
+	m.subs = kept
+	m.vms[id] = ""
+	m.pubByVM[id] = 0
+	if m.tel != nil && depthMoved {
+		m.tel.depth.Set(float64(m.asyncDepth))
+	}
+	m.rebuildRoutesLocked()
+	return t, nil
+}
+
+// AdoptVM completes a migration on the target EM: the VM attaches under its
+// original VMID (AttachVMAt semantics — tombstones fill the gap below a
+// sparse ID) and every transferred subscription is re-registered with its
+// queued events and counters intact. Actor IDs are resolved through the
+// target's own sticky table, so flight-record bitmasks stay interpretable
+// per host. Validation runs before any mutation; an error leaves the EM
+// unchanged.
+func (m *Multiplexer) AdoptVM(t *VMTransfer) error {
+	if t == nil {
+		return fmt.Errorf("core: AdoptVM called with nil transfer")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range t.Subs {
+		st := &t.Subs[i]
+		if st.Auditor == nil {
+			return fmt.Errorf("core: AdoptVM: transfer carries a nil auditor")
+		}
+		if st.Mode != DeliverSync && st.Mode != DeliverAsync {
+			return fmt.Errorf("core: AdoptVM: invalid delivery mode %v", st.Mode)
+		}
+		for _, s := range m.subs {
+			if s.auditor == st.Auditor {
+				return fmt.Errorf("core: AdoptVM: auditor %q already registered here", st.Auditor.Name())
+			}
+		}
+	}
+	if _, err := m.attachAtLocked(t.ID, t.Name); err != nil {
+		return fmt.Errorf("core: AdoptVM: %w", err)
+	}
+	m.pubByVM[t.ID] = t.Published
+	depthMoved := false
+	for i := range t.Subs {
+		st := &t.Subs[i]
+		sub := &subscription{
+			auditor:   st.Auditor,
+			mode:      st.Mode,
+			mask:      st.Auditor.Mask(),
+			scope:     ScopeVM(t.ID),
+			delivered: st.Delivered,
+			queued:    st.QueuedTotal,
+			dropped:   st.Dropped,
+		}
+		sub.actor = m.actorLocked(st.Auditor.Name())
+		sub.actorBit = 1 << sub.actor
+		if st.Mode == DeliverAsync {
+			queueCap := st.QueueCap
+			if queueCap <= 0 {
+				queueCap = DefaultQueueCap
+			}
+			if queueCap < len(st.Queued) {
+				queueCap = len(st.Queued)
+			}
+			sub.ring = make([]Event, queueCap)
+			sub.count = copy(sub.ring, st.Queued)
+			m.asyncDepth += sub.count
+			depthMoved = depthMoved || sub.count > 0
+			if ba, ok := st.Auditor.(BatchAuditor); ok {
+				sub.batch = ba
+			}
+		}
+		if m.tel != nil {
+			sub.hist = m.tel.reg.Histogram("hypertap_auditor_handle_seconds",
+				telemetry.L("auditor", st.Auditor.Name()))
+		}
+		m.subs = append(m.subs, sub)
+	}
+	if m.tel != nil && depthMoved {
+		depth := float64(m.asyncDepth)
+		m.tel.depth.Set(depth)
+		m.tel.highWater.SetMax(depth)
+	}
+	m.rebuildRoutesLocked()
+	return nil
+}

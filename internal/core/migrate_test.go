@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAttachVMAtSparse(t *testing.T) {
+	em := NewMultiplexer()
+	if id, err := em.AttachVMAt(4, "vm-4"); err != nil || id != 4 {
+		t.Fatalf("AttachVMAt(4) = %d, %v", id, err)
+	}
+	// Slots 0..3 are tombstones: unnamed, unresolvable, unregisterable.
+	for id := VMID(0); id < 4; id++ {
+		if _, ok := em.VMName(id); ok {
+			t.Fatalf("VMName(%d) resolved a tombstone", id)
+		}
+		aud := &AuditorFunc{AuditorName: "t", EventMask: MaskAll, Fn: func(*Event) {}}
+		if err := em.RegisterScoped(aud, ScopeVM(id), DeliverSync, 0); err == nil {
+			t.Fatalf("RegisterScoped accepted tombstoned VM %d", id)
+		}
+	}
+	if name, ok := em.VMName(4); !ok || name != "vm-4" {
+		t.Fatalf("VMName(4) = %q, %v", name, ok)
+	}
+	if _, err := em.AttachVMAt(4, "other"); err == nil {
+		t.Fatal("AttachVMAt accepted an occupied slot")
+	}
+	if _, err := em.AttachVMAt(6, "vm-4"); err == nil {
+		t.Fatal("AttachVMAt accepted a duplicate name")
+	}
+	// Dense attach continues after the sparse block.
+	if id, err := em.AttachVM("vm-5"); err != nil || id != 5 {
+		t.Fatalf("AttachVM after sparse = %d, %v", id, err)
+	}
+}
+
+func TestDetachAdoptMovesQueueAndCounters(t *testing.T) {
+	src := NewMultiplexer()
+	dst := NewMultiplexer()
+	if _, err := src.AttachVMAt(2, "mig"); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []Event
+	aud := collect("mover", MaskAll, &mu, &got)
+	if err := src.RegisterScoped(aud, ScopeVM(2), DeliverAsync, 8); err != nil {
+		t.Fatal(err)
+	}
+	fleet := &AuditorFunc{AuditorName: "fleet", EventMask: MaskAll, Fn: func(*Event) {}}
+	if err := src.Register(fleet, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue three events and deliver none: the queue must travel.
+	for i := 0; i < 3; i++ {
+		src.Publish(&Event{Type: EvSyscall, VM: 2, Seq: uint64(i), Time: time.Duration(i) * time.Millisecond})
+	}
+	pubBefore := src.PublishedVM(2)
+
+	tr, err := src.DetachVM(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "mig" || tr.ID != 2 || tr.Published != pubBefore {
+		t.Fatalf("transfer = %+v, want mig/2/%d", tr, pubBefore)
+	}
+	if len(tr.Subs) != 1 || len(tr.Subs[0].Queued) != 3 {
+		t.Fatalf("transfer subs = %+v, want 1 sub with 3 queued", tr.Subs)
+	}
+	// The fleet-wide subscription stays behind; the VM slot is tombstoned.
+	if _, ok := src.VMName(2); ok {
+		t.Fatal("source still resolves the detached VM")
+	}
+	if src.PublishedVM(2) != 0 {
+		t.Fatal("source kept the detached VM's publish count")
+	}
+	if stats := src.Stats(); len(stats) != 1 || stats[0].Auditor != "fleet" {
+		t.Fatalf("source stats after detach = %+v", stats)
+	}
+	if _, err := src.DetachVM(2); err == nil {
+		t.Fatal("double detach accepted")
+	}
+
+	if err := dst.AdoptVM(tr); err != nil {
+		t.Fatal(err)
+	}
+	if name, ok := dst.VMName(2); !ok || name != "mig" {
+		t.Fatalf("target VMName(2) = %q, %v", name, ok)
+	}
+	if dst.PublishedVM(2) != pubBefore {
+		t.Fatalf("target PublishedVM = %d, want %d (continuity)", dst.PublishedVM(2), pubBefore)
+	}
+	// Draining on the target delivers exactly the events queued on the source.
+	if n := dst.Dispatch(0); n != 3 {
+		t.Fatalf("target Dispatch = %d, want 3", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i) || ev.VM != 2 {
+			t.Fatalf("event %d = seq %d vm %d", i, ev.Seq, ev.VM)
+		}
+	}
+}
+
+func TestAdoptVMValidatesBeforeMutating(t *testing.T) {
+	src := NewMultiplexer()
+	dst := NewMultiplexer()
+	if _, err := src.AttachVM("v"); err != nil {
+		t.Fatal(err)
+	}
+	aud := &AuditorFunc{AuditorName: "dup", EventMask: MaskAll, Fn: func(*Event) {}}
+	if err := src.RegisterScoped(aud, ScopeVM(0), DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The same auditor object already lives on the target: adoption must
+	// fail and leave the target untouched.
+	if err := dst.Register(aud, DeliverSync, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := src.DetachVM(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AdoptVM(tr); err == nil {
+		t.Fatal("AdoptVM accepted a duplicate auditor")
+	}
+	if _, ok := dst.VMName(0); ok {
+		t.Fatal("failed adoption attached the VM anyway")
+	}
+}
+
+func TestDetachAdoptRoundTrip(t *testing.T) {
+	a := NewMultiplexer()
+	b := NewMultiplexer()
+	if _, err := a.AttachVMAt(1, "rt"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []Event
+	if err := a.RegisterScoped(collect("rt-aud", MaskAll, &mu, &got), ScopeVM(1), DeliverAsync, 0); err != nil {
+		t.Fatal(err)
+	}
+	a.Publish(&Event{Type: EvSyscall, VM: 1, Seq: 10})
+	tr, err := a.DetachVM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AdoptVM(tr); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(&Event{Type: EvSyscall, VM: 1, Seq: 11})
+	tr2, err := b.DetachVM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AdoptVM(tr2); err != nil {
+		t.Fatal(err)
+	}
+	a.Publish(&Event{Type: EvSyscall, VM: 1, Seq: 12})
+	// A VM migrated A→B→A ends with its whole publish history intact and
+	// all three queued events deliverable in order.
+	if got := a.PublishedVM(1); got != 3 {
+		t.Fatalf("PublishedVM after round trip = %d, want 3", got)
+	}
+	if n := a.Dispatch(0); n != 3 {
+		t.Fatalf("Dispatch after round trip = %d, want 3", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, ev := range got {
+		if ev.Seq != uint64(10+i) {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, 10+i)
+		}
+	}
+}
+
+func TestFlightBaseAndMapVM(t *testing.T) {
+	fl := NewFlightTable(2, 8, 8)
+	fl.SetVMBase(4)
+	em := NewMultiplexer()
+	if _, err := em.AttachVMAt(4, "vm-4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.AttachVMAt(5, "vm-5"); err != nil {
+		t.Fatal(err)
+	}
+	em.SetFlight(fl)
+	// Resident range records into dedicated rings, not overflow.
+	em.Publish(&Event{Type: EvSyscall, VM: 4, Span: MintSpan(4, 1, 0)})
+	em.Publish(&Event{Type: EvSyscall, VM: 5, Span: MintSpan(5, 1, 0)})
+	if got := em.FlightExits(4); len(got) != 1 {
+		t.Fatalf("FlightExits(4) = %d records, want 1", len(got))
+	}
+	if got := em.FlightExits(5); len(got) != 1 {
+		t.Fatalf("FlightExits(5) = %d records, want 1", len(got))
+	}
+	if got := em.FlightOverflow(); len(got) != 0 {
+		t.Fatalf("overflow = %d records, want 0", len(got))
+	}
+	// An out-of-range VM overflows until mapped, then gets its own ring.
+	em.Publish(&Event{Type: EvSyscall, VM: 9, Span: MintSpan(9, 1, 0)})
+	if got := em.FlightOverflow(); len(got) != 1 {
+		t.Fatalf("overflow before MapVM = %d records, want 1", len(got))
+	}
+	em.FlightMapVM(9)
+	em.Publish(&Event{Type: EvSyscall, VM: 9, Span: MintSpan(9, 2, 0)})
+	if got := em.FlightExits(9); len(got) != 1 {
+		t.Fatalf("FlightExits(9) after MapVM = %d records, want 1", len(got))
+	}
+	if got := em.FlightOverflow(); len(got) != 1 {
+		t.Fatalf("overflow after MapVM = %d records, want 1 (history stays)", len(got))
+	}
+	want := []VMID{4, 5, 9}
+	got := em.FlightVMs()
+	if len(got) != len(want) {
+		t.Fatalf("FlightVMs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FlightVMs = %v, want %v", got, want)
+		}
+	}
+}

@@ -17,6 +17,13 @@ import (
 // machine that owns a private EM (the single-VM deployment) attaches itself
 // as VM 0, so the zero value is always the "solo VM" and pre-fleet wiring
 // keeps working unchanged.
+//
+// The cluster plane widens the namespace: a datacenter assigns each host a
+// disjoint VMID range (host h owns [h·N, h·N+N)), so a VM keeps its identity
+// — and therefore its SpanIDs, flight records and capture stream — when it
+// migrates between hosts. Sparse IDs enter through AttachVMAt; the slots
+// below an attached ID are tombstones ("" names) that route like unattached
+// VMs.
 type VMID uint16
 
 // maxVMs bounds the per-host fleet: VMIDs index the routing table and the
@@ -64,22 +71,46 @@ type VMScoped interface {
 // rebuilds the routing table with a slot for the new VM; when telemetry is
 // enabled the VM also gets a labeled published-events series.
 func (m *Multiplexer) AttachVM(name string) (VMID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.attachAtLocked(VMID(len(m.vms)), name)
+}
+
+// AttachVMAt registers a VM under a caller-chosen VMID — the cluster plane's
+// entry point, where host h owns the ID range [h·N, h·N+N) so a VM's identity
+// survives migration. Slots below id that no one attached become tombstones:
+// they have no name, no telemetry series, and route like unattached VMs.
+// Attaching at an occupied slot is an error; AttachVM is AttachVMAt at the
+// next dense slot, so a base-0 host is byte-identical to the pre-cluster
+// dense path.
+func (m *Multiplexer) AttachVMAt(id VMID, name string) (VMID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.attachAtLocked(id, name)
+}
+
+// attachAtLocked is the shared attach path. Caller holds the EM lock.
+func (m *Multiplexer) attachAtLocked(id VMID, name string) (VMID, error) {
 	if name == "" {
 		return 0, fmt.Errorf("core: AttachVM requires a VM name")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, n := range m.vms {
 		if n == name {
 			return 0, fmt.Errorf("core: VM %q already attached", name)
 		}
 	}
-	if len(m.vms) >= maxVMs {
+	if len(m.vms) >= maxVMs && int(id) >= len(m.vms) {
 		return 0, fmt.Errorf("core: host EM is full (%d VMs)", maxVMs)
 	}
-	id := VMID(len(m.vms))
-	m.vms = append(m.vms, name)
-	m.pubByVM = append(m.pubByVM, 0)
+	for int(id) >= len(m.vms) {
+		m.vms = append(m.vms, "")
+		m.pubByVM = append(m.pubByVM, 0)
+	}
+	if m.vms[id] != "" {
+		return 0, fmt.Errorf("core: VMID %d already attached (%q)", id, m.vms[id])
+	}
+	m.vms[id] = name
+	m.pubByVM[id] = 0
 	if m.tel != nil {
 		m.registerVMSeriesLocked(id)
 	}
@@ -87,17 +118,19 @@ func (m *Multiplexer) AttachVM(name string) (VMID, error) {
 	return id, nil
 }
 
-// VMName resolves an attached VMID to its name.
+// VMName resolves an attached VMID to its name. Tombstoned slots (IDs below
+// a sparse attach that no one occupies, or detached VMs) resolve to nothing.
 func (m *Multiplexer) VMName(id VMID) (string, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if int(id) >= len(m.vms) {
+	if int(id) >= len(m.vms) || m.vms[id] == "" {
 		return "", false
 	}
 	return m.vms[id], true
 }
 
-// VMs returns the attached VM names indexed by VMID.
+// VMs returns the attached VM names indexed by VMID; tombstoned slots hold
+// the empty string.
 func (m *Multiplexer) VMs() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -128,6 +128,7 @@ func fleetUnitWorkload(slot int) []guest.Step {
 func newFleetSink(cfg *FleetConfig, ctx *runner.Ctx, hostName string, h *host.Host, stream func() []byte) (*flight.Sink, error) {
 	return flight.NewSink(flight.SinkConfig{
 		Dir:       filepath.Join(cfg.IncidentDir, fmt.Sprintf("unit-%03d", ctx.Index)),
+		Host:      hostName,
 		EM:        h.EM(),
 		Telemetry: ctx.Telemetry,
 		Capture:   stream,
@@ -176,9 +177,10 @@ func runFleetUnit(cfg *FleetConfig, ctx *runner.Ctx) (rep FleetHostReport, err e
 		if cfg.IncidentDir == "" {
 			return FleetHostReport{}, fmt.Errorf("experiment: FleetConfig.Capture requires IncidentDir")
 		}
-		hdr := capture.Header{Tick: time.Millisecond}
+		hdr := capture.Header{Host: hostName, Tick: time.Millisecond}
 		for j := range specs {
 			hdr.VMs = append(hdr.VMs, capture.VMHeader{
+				ID:   h.Machine(j).VMID(),
 				Name: specs[j].Name, VCPUs: h.Machine(j).NumVCPUs(),
 			})
 		}
@@ -421,20 +423,37 @@ func ReplayIncidentStream(cfg FleetConfig, bundleDir string) (*StreamReplayRepor
 		return nil, fmt.Errorf("experiment: bundle %s carries no exit stream (campaign ran without Capture)", bundleDir)
 	}
 	cfg.fillDefaults()
+	// The flight table's resident range comes from the capture header — a v2
+	// (cluster) stream carries sparse VMIDs, so the rings sit at a base, not
+	// at zero. Parse the header alone first; the replay re-reads the stream.
+	pre, err := capture.NewReader(bytes.NewReader(b.Capture))
+	if err != nil {
+		return nil, err
+	}
+	hdr := pre.Header()
 	var fl *core.FlightTable
 	if cfg.FlightDepth >= 0 {
-		fl = core.NewFlightTable(len(b.Meta.VMNames), cfg.FlightDepth, 0)
+		base, top := hdr.VMs[0].ID, hdr.VMs[0].ID
+		for _, vm := range hdr.VMs {
+			if vm.ID < base {
+				base = vm.ID
+			}
+			if vm.ID > top {
+				top = vm.ID
+			}
+		}
+		fl = core.NewFlightTable(int(top-base)+1, cfg.FlightDepth, 0)
+		fl.SetVMBase(base)
 	}
 	rp, err := capture.NewReplay(bytes.NewReader(b.Capture), capture.ReplayConfig{Flight: fl})
 	if err != nil {
 		return nil, err
 	}
 	em := rp.EM()
-	hdr := rp.Header()
 	var goshdActor, fwActor uint8
 	dets := make([]*goshd.Detector, len(hdr.VMs))
 	for j := range dets {
-		vmid := core.VMID(j)
+		vmid := hdr.VMs[j].ID
 		det, derr := goshd.New(goshd.Config{
 			VM:        vmid,
 			Clock:     rp.Clock(vmid),
@@ -473,11 +492,15 @@ func ReplayIncidentStream(cfg FleetConfig, bundleDir string) (*StreamReplayRepor
 	if err := rp.Run(); err != nil {
 		return nil, err
 	}
-	report := &StreamReplayReport{Host: b.Meta.Context["host"], Divergences: rp.Divergences()}
+	replayedHost := hdr.Host
+	if replayedHost == "" {
+		replayedHost = b.Meta.Context["host"]
+	}
+	report := &StreamReplayReport{Host: replayedHost, Divergences: rp.Divergences()}
 	for j := range hdr.VMs {
 		vm := StreamVMReport{
 			Name:   hdr.VMs[j].Name,
-			Events: em.PublishedVM(core.VMID(j)),
+			Events: em.PublishedVM(hdr.VMs[j].ID),
 			Alarms: len(dets[j].Alarms()),
 		}
 		report.VMs = append(report.VMs, vm)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +29,10 @@ type Incident struct {
 	Index int `json:"index"`
 	// Kind classifies the trigger: "detection", "error", "panic", ...
 	Kind string `json:"kind"`
+	// Host names the host the incident was captured on. Under the cluster
+	// plane a VM migrates between hosts but keeps its VMID, so the pair
+	// (Host, VM) locates the incident while VM alone locates the evidence.
+	Host string `json:"host,omitempty"`
 	// VM is the implicated VM's ID; VMName its attached name when known.
 	VM     core.VMID `json:"vm"`
 	VMName string    `json:"vm_name,omitempty"`
@@ -61,6 +66,10 @@ type RHCState struct {
 type SinkConfig struct {
 	// Dir is the directory incidents are written under (created on demand).
 	Dir string
+	// Host names the capturing host in every bundle manifest. Optional for
+	// solo deployments; cluster hosts set it so incidents raised after a
+	// migration still say where the evidence was captured.
+	Host string
 	// EM is the multiplexer whose flight table is drained. Required, and it
 	// must have a flight table attached (core.Multiplexer.SetFlight).
 	EM *core.Multiplexer
@@ -132,7 +141,6 @@ func (s *Sink) Raise(kind string, vm core.VMID, at time.Duration, cause error) (
 	s.mu.Unlock()
 
 	em := s.cfg.EM
-	fl := em.Flight()
 	// Stamp the incident into the span ring under the implicated VM's most
 	// recent span, so the capture itself shows up on the causal timeline.
 	exits := em.FlightExits(vm)
@@ -152,6 +160,7 @@ func (s *Sink) Raise(kind string, vm core.VMID, at time.Duration, cause error) (
 		FormatVersion: Version,
 		Index:         idx,
 		Kind:          kind,
+		Host:          s.cfg.Host,
 		VM:            vm,
 		VTimeNS:       int64(at),
 		Context:       s.cfg.Context,
@@ -168,9 +177,13 @@ func (s *Sink) Raise(kind string, vm core.VMID, at time.Duration, cause error) (
 		return "", err
 	}
 
-	for ri := 0; ri < fl.VMRings(); ri++ {
-		if err := writeBin(filepath.Join(dir, fmt.Sprintf("flight-vm%03d.bin", ri)), func(f *os.File) error {
-			return WriteExits(f, em.FlightExits(core.VMID(ri)))
+	// Ring files carry the VMID in the name. The EM enumerates the mapped
+	// rings itself — under the cluster's sparse ID namespace (host h owns
+	// [h·N, h·N+N), plus migrated-in mappings) ring index and VMID are no
+	// longer the same thing.
+	for _, id := range em.FlightVMs() {
+		if err := writeBin(filepath.Join(dir, fmt.Sprintf("flight-vm%05d.bin", id)), func(f *os.File) error {
+			return WriteExits(f, em.FlightExits(id))
 		}); err != nil {
 			return "", err
 		}
@@ -259,8 +272,13 @@ type Bundle struct {
 	Dir string
 	// Meta is the manifest.
 	Meta Incident
-	// Exits holds the per-VM ring captures, indexed by VMID.
+	// Exits holds the per-VM ring captures in ascending-VMID order; ring i
+	// belongs to ExitVMs[i]. On a solo (base-0, dense) host the two orders
+	// coincide, so Exits[vm] keeps working as an index by VMID there.
 	Exits [][]core.FlightExit
+	// ExitVMs gives each ring's VMID, parsed from the ring file names —
+	// sparse under the cluster plane's per-host ID ranges.
+	ExitVMs []core.VMID
 	// Overflow is the out-of-range-VMID ring capture.
 	Overflow []core.FlightExit
 	// Spans is the span-ring capture.
@@ -288,13 +306,26 @@ func LoadBundle(dir string) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flight: %w", err)
 	}
-	sort.Strings(ringFiles) // vm%03d naming makes lexical order VMID order
+	// Ring files embed the VMID (flight-vm%05d.bin; older bundles used
+	// %03d). Sorting numerically by the parsed ID keeps ring order stable
+	// across both paddings and under sparse cluster IDs.
+	ids := make(map[string]int, len(ringFiles))
+	for _, rf := range ringFiles {
+		numeric := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(rf), "flight-vm"), ".bin")
+		id, convErr := strconv.Atoi(numeric)
+		if convErr != nil || id < 0 || id > int(^uint16(0)) {
+			return nil, fmt.Errorf("flight: ring file %s has no parsable VMID", rf)
+		}
+		ids[rf] = id
+	}
+	sort.Slice(ringFiles, func(i, j int) bool { return ids[ringFiles[i]] < ids[ringFiles[j]] })
 	for _, rf := range ringFiles {
 		recs, err := readExitsFile(rf)
 		if err != nil {
 			return nil, err
 		}
 		b.Exits = append(b.Exits, recs)
+		b.ExitVMs = append(b.ExitVMs, core.VMID(ids[rf]))
 	}
 	if b.Overflow, err = readExitsFile(filepath.Join(dir, "flight-overflow.bin")); err != nil {
 		return nil, err

@@ -171,8 +171,14 @@ func WriteChrome(w io.Writer, b *Bundle) error {
 		flowSeen: make(map[core.SpanID]bool),
 	}
 	bld.meta(0, "process_name")
-	for vm := range b.Exits {
-		bld.meta(vmTID(core.VMID(vm)), bld.vmName(core.VMID(vm)))
+	ringVM := func(i int) core.VMID {
+		if i < len(b.ExitVMs) {
+			return b.ExitVMs[i]
+		}
+		return core.VMID(i)
+	}
+	for i := range b.Exits {
+		bld.meta(vmTID(ringVM(i)), bld.vmName(ringVM(i)))
 	}
 	if len(b.Overflow) > 0 {
 		bld.meta(overflowTID, "overflow")
@@ -180,9 +186,9 @@ func WriteChrome(w io.Writer, b *Bundle) error {
 	for a, name := range bld.actors {
 		bld.meta(auditorTIDOff+a, name)
 	}
-	for vm := range b.Exits {
-		for i := range b.Exits[vm] {
-			bld.exit(vmTID(core.VMID(vm)), &b.Exits[vm][i])
+	for i := range b.Exits {
+		for j := range b.Exits[i] {
+			bld.exit(vmTID(ringVM(i)), &b.Exits[i][j])
 		}
 	}
 	for i := range b.Overflow {

@@ -1,0 +1,221 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"hypertap/internal/core"
+	"hypertap/internal/guest"
+)
+
+// stepBoth advances two hosts in lockstep for rounds ticks — the cluster
+// driver's schedule in miniature.
+func stepBoth(a, b *Host, from time.Duration, rounds int) time.Duration {
+	elapsed := from
+	for r := 0; r < rounds; r++ {
+		elapsed += time.Millisecond
+		a.StepRound(elapsed)
+		b.StepRound(elapsed)
+	}
+	return elapsed
+}
+
+// TestHostMigrationHandoff moves a VM between live hosts mid-run and checks
+// that everything that defines the VM — its VMID, its event stream, its
+// scoped auditors with their queues and counters, its guest history — keeps
+// going on the target as if nothing happened.
+func TestHostMigrationHandoff(t *testing.T) {
+	src, err := New(Config{
+		Name: "h0",
+		VMs: []VMSpec{
+			{Name: "stay", Guest: guest.Config{Seed: 31}, Monitor: true, Features: allFeatures()},
+			{Name: "mover", Guest: guest.Config{Seed: 32}, Monitor: true, Features: allFeatures()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(Config{
+		Name:     "h1",
+		VMIDBase: 2,
+		VMs: []VMSpec{
+			{Name: "anchor", Guest: guest.Config{Seed: 33}, Monitor: true, Features: allFeatures()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The mover's scoped auditors: a sync collector and an async GOSHD. Both
+	// are VM-scoped subscriptions, so both must travel with the VM.
+	col, det := attachAuditors(t, src.Machine(1), 1)
+	if err := src.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	det.Start()
+	fleetWorkload(t, src.Machine(0), 0)
+	fleetWorkload(t, src.Machine(1), 2) // napper: trips the 30ms GOSHD threshold
+	fleetWorkload(t, dst.Machine(0), 1)
+
+	elapsed := stepBoth(src, dst, 0, 100)
+
+	eventsBefore := len(col.events())
+	alarmsBefore := len(det.Alarms())
+	pubBefore := src.EM().PublishedVM(1)
+	statsBefore := src.Machine(1).Kernel().Stats()
+	if eventsBefore == 0 || pubBefore == 0 {
+		t.Fatal("mover produced nothing before migration; the handoff check is vacuous")
+	}
+	if alarmsBefore == 0 {
+		t.Fatal("napper raised no GOSHD alarms before migration")
+	}
+
+	mv, err := src.DetachVM("mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumVMs() != 1 || src.FindMachine("mover") != nil {
+		t.Fatal("source still schedules the detached VM")
+	}
+	if len(mv.FlightPrefix) == 0 {
+		t.Fatal("flight prefix not snapshotted at detach")
+	}
+	if err := dst.AttachVM(mv); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumVMs() != 2 || dst.FindMachine("mover") == nil {
+		t.Fatal("target did not adopt the VM")
+	}
+	if got := dst.FindMachine("mover").VMID(); got != 1 {
+		t.Fatalf("mover's VMID changed to %d across migration", got)
+	}
+
+	stepBoth(src, dst, elapsed, 100)
+
+	// The collector traveled: it kept receiving the mover's events on the
+	// target, all still stamped with the original VMID.
+	evs := col.events()
+	if len(evs) <= eventsBefore {
+		t.Fatalf("no events collected after migration (%d before, %d after)", eventsBefore, len(evs))
+	}
+	for _, ev := range evs {
+		if ev.VM != 1 {
+			t.Fatalf("post-migration event stamped vm%d, want vm1", ev.VM)
+		}
+	}
+	// Publish accounting reads continuously across the move.
+	if got := dst.EM().PublishedVM(1); got != uint64(len(evs)) {
+		t.Fatalf("target PublishedVM(1) = %d, want %d (continuity with the collector)", got, len(evs))
+	}
+	if src.EM().PublishedVM(1) != 0 {
+		t.Fatal("source kept the migrated VM's publish count")
+	}
+	// GOSHD traveled with its timers: the napper keeps tripping it.
+	if len(det.Alarms()) <= alarmsBefore {
+		t.Fatalf("no GOSHD alarms after migration (%d before, %d after)", alarmsBefore, len(det.Alarms()))
+	}
+	// The guest itself kept running.
+	statsAfter := dst.FindMachine("mover").Kernel().Stats()
+	if statsAfter.ContextSwitches <= statsBefore.ContextSwitches {
+		t.Fatal("guest made no progress after migration")
+	}
+	// The target's flight table records the mover's post-move exits under
+	// its own ring (not overflow), keyed by the original VMID.
+	if got := dst.EM().FlightRecorded(1); got == 0 {
+		t.Fatal("target flight table recorded nothing for the migrated VM")
+	}
+	if overflow := dst.EM().FlightOverflow(); len(overflow) != 0 {
+		t.Fatalf("migrated VM's exits leaked into the overflow ring (%d records)", len(overflow))
+	}
+}
+
+// TestHostMigrationErrors covers the placement API's failure edges.
+func TestHostMigrationErrors(t *testing.T) {
+	h, err := New(Config{VMs: []VMSpec{{Name: "only", Guest: guest.Config{Seed: 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.DetachVM("ghost"); err == nil {
+		t.Fatal("detach of an unknown VM accepted")
+	}
+	if err := h.AttachVM(nil); err == nil {
+		t.Fatal("nil MigratedVM accepted")
+	}
+	if err := h.AttachVM(&MigratedVM{}); err == nil {
+		t.Fatal("empty MigratedVM accepted")
+	}
+}
+
+// TestHostMigrationHeartbeatHandoff pins the RHC half of the handoff: after
+// the move, the VM's heartbeats flow through the *target* host's connection.
+// The source is never stepped again, so any new beat can only have come from
+// the target.
+func TestHostMigrationHeartbeatHandoff(t *testing.T) {
+	srv, err := core.NewRHCServer("127.0.0.1:0", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	src, err := New(Config{
+		Name: "rhc-src",
+		VMs:  []VMSpec{{Name: "mover", Guest: guest.Config{Seed: 41}, Monitor: true, Features: allFeatures()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(Config{
+		Name:     "rhc-dst",
+		VMIDBase: 1,
+		VMs:      []VMSpec{{Name: "anchor", Guest: guest.Config{Seed: 42}, Monitor: true, Features: allFeatures()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.ConnectRHC(srv.Addr(), 16); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = src.Close() }()
+	if err := dst.ConnectRHC(srv.Addr(), 16); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dst.Close() }()
+	if err := src.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	fleetWorkload(t, src.Machine(0), 1) // chatty enough to sample
+	fleetWorkload(t, dst.Machine(0), 0)
+
+	src.Run(100 * time.Millisecond)
+	before, ok := srv.WaitHeartbeat("mover", 2*time.Second)
+	if !ok {
+		t.Fatal("no pre-migration heartbeats from the mover")
+	}
+
+	mv, err := src.DetachVM("mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.AttachVM(mv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the target runs from here. A fresher beat proves the handoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dst.Run(50 * time.Millisecond)
+		if hb, ok := srv.LastHeartbeat("mover"); ok && hb.Seq > before.Seq {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no post-migration heartbeats for the mover through the target host")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

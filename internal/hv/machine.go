@@ -72,6 +72,13 @@ type Config struct {
 	// unique per host. Nil keeps the pre-fleet behavior: the machine owns a
 	// private EM and attaches itself as VM 0.
 	EM *core.Multiplexer
+	// PinVMID, when set, attaches the machine at the explicit VMID below
+	// instead of the EM's next dense slot — the cluster plane's identity
+	// discipline, where host h owns the ID range [h·N, h·N+N) and a VM keeps
+	// its VMID (and so its SpanIDs and flight records) across migration.
+	PinVMID bool
+	// VMID is the pinned identity; meaningful only with PinVMID.
+	VMID core.VMID
 	// Telemetry, when set, instruments the machine: every VM Exit is
 	// counted by reason (hypertap_vm_exits_total) and, when the machine
 	// owns its EM, the EM registers its publish/queue/latency metrics too.
@@ -158,7 +165,12 @@ func New(cfg Config) (*Machine, error) {
 		m.em = core.NewMultiplexer()
 		m.ownsEM = true
 	}
-	vmid, err := m.em.AttachVM(cfg.Name)
+	var vmid core.VMID
+	if cfg.PinVMID {
+		vmid, err = m.em.AttachVMAt(cfg.VMID, cfg.Name)
+	} else {
+		vmid, err = m.em.AttachVM(cfg.Name)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("hv: %w", err)
 	}
@@ -333,6 +345,21 @@ func (m *Machine) stepTick() {
 		m.tap.TapTick(m.vmid, start+tick)
 	}
 	m.clock.Advance(tick)
+}
+
+// Rebind points the machine at a different host EM — the receiving half of a
+// live migration. The guest (kernel, memory, vCPUs, virtual clock, exit
+// sequence) travels untouched inside the Machine; only the event-plane
+// attachment changes, and the VM keeps its VMID on the new host (the caller
+// adopts it there first via core.Multiplexer.AdoptVM). The machine must be
+// quiescent — between StepTick rounds — when rebound; the cluster driver
+// migrates only at round boundaries, which guarantees it.
+func (m *Machine) Rebind(em *core.Multiplexer) {
+	m.em = em
+	m.ownsEM = false
+	if m.engine != nil {
+		m.engine.Rebind(em)
+	}
 }
 
 // InjectNetRequest queues an inbound network packet, delivered via a device

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRelabeledKeepsSeriesDistinct is the cluster-rollup collision
+// regression: two hosts record the same series name, and absorbing both raw
+// snapshots into one registry silently aliases them into a single counter.
+// Relabeling with a host label keeps them distinct and the total auditable.
+func TestRelabeledKeepsSeriesDistinct(t *testing.T) {
+	h0, h1 := NewRegistry(), NewRegistry()
+	h0.Counter("hypertap_em_published_total").Add(10)
+	h1.Counter("hypertap_em_published_total").Add(32)
+
+	// The collision, demonstrated: raw absorption folds both hosts into one
+	// anonymous series.
+	collided := NewRegistry()
+	collided.Absorb(h0.Snapshot())
+	collided.Absorb(h1.Snapshot())
+	if got := collided.Counter("hypertap_em_published_total").Value(); got != 42 {
+		t.Fatalf("raw absorb = %d, want 42 (both hosts aliased)", got)
+	}
+	if n := len(collided.Snapshot().Counters); n != 1 {
+		t.Fatalf("raw absorb kept %d series, want 1 (the collision)", n)
+	}
+
+	// The fix: per-host labels separate the series; the per-host values stay
+	// readable and the sum still reconstructs.
+	fleet := NewRegistry()
+	fleet.Absorb(h0.Snapshot().Relabeled(L("host", "h0")))
+	fleet.Absorb(h1.Snapshot().Relabeled(L("host", "h1")))
+	if got := fleet.Counter("hypertap_em_published_total", L("host", "h0")).Value(); got != 10 {
+		t.Fatalf("h0 series = %d, want 10", got)
+	}
+	if got := fleet.Counter("hypertap_em_published_total", L("host", "h1")).Value(); got != 32 {
+		t.Fatalf("h1 series = %d, want 32", got)
+	}
+}
+
+// TestRelabeledCanonicalOrder pins that relabeling sorts into the same
+// canonical label order a direct registration uses, so absorption lands on
+// the identical series ID regardless of which side registered first.
+func TestRelabeledCanonicalOrder(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("m", L("vm", "vm0")).Add(7)
+	src.Histogram("lat", L("vm", "vm0")).Observe(time.Millisecond)
+
+	dst := NewRegistry()
+	// Register first with labels in the canonical order relabel must match.
+	pre := dst.Counter("m", L("host", "h9"), L("vm", "vm0"))
+	dst.Absorb(src.Snapshot().Relabeled(L("host", "h9")))
+	if got := pre.Value(); got != 7 {
+		t.Fatalf("relabeled absorb missed the pre-registered series: %d, want 7", got)
+	}
+	if got := dst.Histogram("lat", L("host", "h9"), L("vm", "vm0")).Count(); got != 1 {
+		t.Fatalf("relabeled histogram count = %d, want 1", got)
+	}
+}
+
+// TestDeltaSince pins the periodic-rollup arithmetic: absorbing each
+// interval's delta accumulates to the live total without double counting.
+func TestDeltaSince(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	h := r.Histogram("lat")
+	g := r.Gauge("depth")
+
+	c.Add(5)
+	h.Observe(2 * time.Millisecond)
+	g.Set(3)
+	s1 := r.Snapshot()
+
+	c.Add(7)
+	h.Observe(4 * time.Millisecond)
+	g.Set(2)
+	s2 := r.Snapshot()
+
+	d := s2.DeltaSince(s1)
+	if got := d.Counters[0].Value; got != 7 {
+		t.Fatalf("counter delta = %d, want 7", got)
+	}
+	if got := d.Histograms[0].Count; got != 1 {
+		t.Fatalf("histogram delta count = %d, want 1", got)
+	}
+	if got := d.Histograms[0].Sum; got != 4*time.Millisecond {
+		t.Fatalf("histogram delta sum = %v, want 4ms", got)
+	}
+	// Gauges pass through the current instantaneous value.
+	if got := d.Gauges[0].Value; got != 2 {
+		t.Fatalf("gauge delta = %v, want 2 (current value)", got)
+	}
+
+	// The rollup identity: absorb(s1) then absorb(delta) == final totals.
+	agg := NewRegistry()
+	agg.Absorb(s1)
+	agg.Absorb(d)
+	if got := agg.Counter("events").Value(); got != 12 {
+		t.Fatalf("rolled-up counter = %d, want 12", got)
+	}
+	if got := agg.Histogram("lat").Count(); got != 2 {
+		t.Fatalf("rolled-up histogram count = %d, want 2", got)
+	}
+
+	// A series absent from prev reports whole.
+	r.Counter("late").Add(9)
+	d2 := r.Snapshot().DeltaSince(s2)
+	var late uint64
+	for _, cs := range d2.Counters {
+		if cs.Name == "late" {
+			late = cs.Value
+		}
+	}
+	if late != 9 {
+		t.Fatalf("new-series delta = %d, want 9", late)
+	}
+}
